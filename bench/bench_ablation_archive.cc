@@ -1,0 +1,73 @@
+// Ablation (DESIGN.md §7): the box archive's Update vs a naive nested-loop
+// ε-Pareto maintenance, as a google-benchmark microbenchmark over synthetic
+// point streams. The box archive is O(|archive|) per update with a bounded
+// archive; the nested loop degrades as the kept set grows.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/pareto_archive.h"
+
+namespace fairsqg {
+namespace {
+
+EvaluatedPtr MakePoint(double d, double f) {
+  auto e = std::make_shared<EvaluatedInstance>();
+  e->obj = {d, f};
+  e->feasible = true;
+  return e;
+}
+
+std::vector<EvaluatedPtr> MakeStream(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<EvaluatedPtr> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(MakePoint(rng.NextDouble() * 50, rng.NextDouble() * 50));
+  }
+  return out;
+}
+
+void BM_BoxArchive(benchmark::State& state) {
+  auto stream = MakeStream(static_cast<size_t>(state.range(0)), 9);
+  for (auto _ : state) {
+    ParetoArchive archive(0.05);
+    for (const EvaluatedPtr& p : stream) archive.Update(p);
+    benchmark::DoNotOptimize(archive.size());
+  }
+}
+BENCHMARK(BM_BoxArchive)->Arg(1000)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+// Naive maintenance: keep every instance not ε-dominated by the set,
+// evicting members the newcomer ε-dominates (nested loop, unbounded size).
+void BM_NestedLoop(benchmark::State& state) {
+  auto stream = MakeStream(static_cast<size_t>(state.range(0)), 9);
+  for (auto _ : state) {
+    std::vector<EvaluatedPtr> kept;
+    for (const EvaluatedPtr& p : stream) {
+      bool dominated = false;
+      for (const EvaluatedPtr& k : kept) {
+        if (EpsilonDominates(k->obj, p->obj, 0.05)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+      std::erase_if(kept, [&](const EvaluatedPtr& k) {
+        return EpsilonDominates(p->obj, k->obj, 0.05);
+      });
+      kept.push_back(p);
+    }
+    benchmark::DoNotOptimize(kept.size());
+  }
+}
+BENCHMARK(BM_NestedLoop)->Arg(1000)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fairsqg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/timer.h"
+
+namespace fairsqg::bench {
+
+Result<Truth> ComputeTruth(const QGenConfig& config) {
+  Truth truth;
+  Timer timer;
+  InstanceVerifier verifier(config);
+  GenStats stats;
+  FAIRSQG_ASSIGN_OR_RETURN(truth.all,
+                           VerifyAllInstances(config, &verifier, &stats));
+  truth.feasible = FeasibleOnly(truth.all);
+  truth.pareto = ExactParetoSet(truth.feasible);
+  truth.maxima = MaxObjectives(truth.feasible);
+  truth.seconds = timer.ElapsedSeconds();
+  return truth;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print() const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("| ");
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::printf("%-*s | ", static_cast<int>(width[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::printf("|");
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    std::printf("%s|", std::string(width[c] + 3, '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+  std::fflush(stdout);
+}
+
+std::string Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+void PrintFigureHeader(const std::string& figure, const std::string& caption,
+                       const std::string& setting) {
+  std::printf("\n==== %s: %s ====\n", figure.c_str(), caption.c_str());
+  if (!setting.empty()) std::printf("setting: %s\n", setting.c_str());
+  std::fflush(stdout);
+}
+
+double BenchScale() {
+  const char* env = std::getenv("FAIRSQG_BENCH_SCALE");
+  if (env != nullptr) {
+    double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 0.15;
+}
+
+ScenarioOptions DefaultOptions(const std::string& dataset) {
+  ScenarioOptions options;
+  options.dataset = dataset;
+  options.scale = BenchScale();
+  options.seed = 42;
+  // Paper defaults: |P| = 2, |Q(u_o)| = 3, |X| = 3 (2 range + 1 edge),
+  // C = 200 at 1M-5M nodes; C scales with the graph here.
+  options.num_edges = 3;
+  options.num_range_vars = 2;
+  options.num_edge_vars = 1;
+  options.num_groups = 2;
+  options.total_coverage = 16;
+  options.coverage_fraction = 0.55;  // Calibrate C to the template's matches.
+  options.max_domain_values = 8;
+  options.template_seed = 1;
+  return options;
+}
+
+}  // namespace fairsqg::bench

@@ -1,0 +1,60 @@
+#ifndef FAIRSQG_BENCH_BENCH_COMMON_H_
+#define FAIRSQG_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/config.h"
+#include "core/enumerate.h"
+#include "core/indicators.h"
+#include "core/qgen_result.h"
+#include "workload/scenario.h"
+
+namespace fairsqg::bench {
+
+/// Ground truth of one configuration: the fully verified instance space,
+/// its feasible subset, the exact Pareto set, and the objective maxima used
+/// to normalize indicators.
+struct Truth {
+  std::vector<EvaluatedPtr> all;
+  std::vector<EvaluatedPtr> feasible;
+  std::vector<EvaluatedPtr> pareto;
+  Objectives maxima;
+  double seconds = 0;
+};
+
+/// Verifies the whole instance space once (shared by the indicator rows).
+Result<Truth> ComputeTruth(const QGenConfig& config);
+
+/// Fixed-width console table in the style of the paper's figures.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` digits after the point.
+std::string Fmt(double value, int precision = 3);
+
+/// Prints a figure banner: id, paper caption, and our setting line.
+void PrintFigureHeader(const std::string& figure, const std::string& caption,
+                       const std::string& setting);
+
+/// Paper-default scenario options per dataset (Table II row), scaled to
+/// bench size. Reads FAIRSQG_BENCH_SCALE (double) from the environment to
+/// raise or lower all dataset sizes.
+ScenarioOptions DefaultOptions(const std::string& dataset);
+
+/// Benchmark-wide graph scale (default 0.15; override with env
+/// FAIRSQG_BENCH_SCALE).
+double BenchScale();
+
+}  // namespace fairsqg::bench
+
+#endif  // FAIRSQG_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,49 @@
+// Extension benchmark (Section VI future work): thread scaling of
+// ParallelQGen against the sequential EnumQGen on the DBP scenario.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.h"
+#include "core/enum_qgen.h"
+#include "core/parallel_qgen.h"
+
+namespace fairsqg::bench {
+namespace {
+
+const Scenario& GetScenario() {
+  static Scenario* scenario = [] {
+    Result<Scenario> s = MakeScenario(DefaultOptions("dbp"));
+    FAIRSQG_CHECK(s.ok()) << s.status().ToString();
+    return new Scenario(std::move(s).ValueOrDie());
+  }();
+  return *scenario;
+}
+
+void BM_Sequential(benchmark::State& state) {
+  QGenConfig config = GetScenario().MakeConfig(0.01);
+  for (auto _ : state) {
+    Result<QGenResult> r = EnumQGen::Run(config);
+    FAIRSQG_CHECK(r.ok());
+    benchmark::DoNotOptimize(r->pareto.size());
+  }
+}
+BENCHMARK(BM_Sequential)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_Parallel(benchmark::State& state) {
+  QGenConfig config = GetScenario().MakeConfig(0.01);
+  size_t threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    Result<QGenResult> r = ParallelQGen::Run(config, threads);
+    FAIRSQG_CHECK(r.ok());
+    benchmark::DoNotOptimize(r->pareto.size());
+  }
+}
+BENCHMARK(BM_Parallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+}  // namespace fairsqg::bench
+
+BENCHMARK_MAIN();

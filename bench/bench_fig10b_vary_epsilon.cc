@@ -1,0 +1,76 @@
+// Fig. 10(b): efficiency vs ε on LKI (Fig. 9(b) setting). Paper: Enum and
+// Kungs are insensitive (enumeration-bound); Rf/Bi get slightly faster as ε
+// grows because coarser boxes let Update/pruning cut more instances.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.h"
+#include "core/bi_qgen.h"
+#include "core/enum_qgen.h"
+#include "core/kungs.h"
+#include "core/rf_qgen.h"
+
+namespace fairsqg::bench {
+namespace {
+
+const Scenario& GetScenario() {
+  static Scenario* scenario = [] {
+    ScenarioOptions options = DefaultOptions("lki");
+    options.num_edges = 4;
+    options.num_range_vars = 1;
+    options.num_edge_vars = 2;
+    Result<Scenario> s = MakeScenario(options);
+    FAIRSQG_CHECK(s.ok()) << s.status().ToString();
+    return new Scenario(std::move(s).ValueOrDie());
+  }();
+  return *scenario;
+}
+
+using Runner = Result<QGenResult> (*)(const QGenConfig&);
+
+void BM_VaryEps(benchmark::State& state, Runner runner) {
+  double eps = static_cast<double>(state.range(0)) / 10.0;
+  QGenConfig config = GetScenario().MakeConfig(eps);
+  size_t verified = 0;
+  for (auto _ : state) {
+    Result<QGenResult> r = runner(config);
+    FAIRSQG_CHECK(r.ok()) << r.status().ToString();
+    verified = r->stats.verified;
+  }
+  state.counters["verified"] = static_cast<double>(verified);
+}
+
+void RegisterAll() {
+  struct Algo {
+    const char* name;
+    Runner runner;
+  };
+  for (const Algo& algo : {Algo{"Kungs", &Kungs::Run},
+                           Algo{"EnumQGen", &EnumQGen::Run},
+                           Algo{"RfQGen", &RfQGen::Run},
+                           Algo{"BiQGen", &BiQGen::Run}}) {
+    auto* b = benchmark::RegisterBenchmark(
+        (std::string("Fig10b/") + algo.name + "/eps_x10").c_str(),
+        [runner = algo.runner](benchmark::State& state) {
+          BM_VaryEps(state, runner);
+        });
+    for (int eps10 : {2, 4, 6, 8, 10}) b->Arg(eps10);
+    b->Unit(benchmark::kMillisecond)->Iterations(3);
+  }
+}
+
+}  // namespace
+}  // namespace fairsqg::bench
+
+int main(int argc, char** argv) {
+  fairsqg::bench::PrintFigureHeader("Fig 10(b)", "Efficiency vs epsilon (LKI)",
+                                    "|Q|=4, |X|=3 (1 range + 2 edge); "
+                                    "eps = arg/10");
+  fairsqg::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Fig. 10(c): efficiency vs |X_L| on DBP (Fig. 9(c) setting). Paper:
+// BiQGen fastest and least sensitive; RfQGen/BiQGen beat EnumQGen by
+// growing margins as the space grows.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/bi_qgen.h"
+#include "core/enum_qgen.h"
+#include "core/kungs.h"
+#include "core/rf_qgen.h"
+
+namespace fairsqg::bench {
+namespace {
+
+const Scenario& GetScenario(size_t xl) {
+  static std::map<size_t, std::unique_ptr<Scenario>>* cache =
+      new std::map<size_t, std::unique_ptr<Scenario>>();
+  auto it = cache->find(xl);
+  if (it == cache->end()) {
+    ScenarioOptions options = DefaultOptions("dbp");
+    options.num_edges = 4;
+    options.num_range_vars = xl;
+    options.num_edge_vars = 1;
+    options.max_domain_values = xl <= 3 ? 8 : (xl == 4 ? 4 : 3);
+    Result<Scenario> s = MakeScenario(options);
+    FAIRSQG_CHECK(s.ok()) << s.status().ToString();
+    it = cache->emplace(xl, std::make_unique<Scenario>(std::move(s).ValueOrDie()))
+             .first;
+  }
+  return *it->second;
+}
+
+using Runner = Result<QGenResult> (*)(const QGenConfig&);
+
+void BM_VaryXl(benchmark::State& state, Runner runner) {
+  QGenConfig config =
+      GetScenario(static_cast<size_t>(state.range(0))).MakeConfig(0.01);
+  size_t verified = 0;
+  for (auto _ : state) {
+    Result<QGenResult> r = runner(config);
+    FAIRSQG_CHECK(r.ok()) << r.status().ToString();
+    verified = r->stats.verified;
+  }
+  state.counters["verified"] = static_cast<double>(verified);
+}
+
+void RegisterAll() {
+  struct Algo {
+    const char* name;
+    Runner runner;
+  };
+  for (const Algo& algo : {Algo{"Kungs", &Kungs::Run},
+                           Algo{"EnumQGen", &EnumQGen::Run},
+                           Algo{"RfQGen", &RfQGen::Run},
+                           Algo{"BiQGen", &BiQGen::Run}}) {
+    auto* b = benchmark::RegisterBenchmark(
+        (std::string("Fig10c/") + algo.name + "/XL").c_str(),
+        [runner = algo.runner](benchmark::State& state) {
+          BM_VaryXl(state, runner);
+        });
+    for (int xl : {2, 3, 4, 5}) b->Arg(xl);
+    b->Unit(benchmark::kMillisecond)->Iterations(3);
+  }
+}
+
+}  // namespace
+}  // namespace fairsqg::bench
+
+int main(int argc, char** argv) {
+  fairsqg::bench::PrintFigureHeader("Fig 10(c)", "Efficiency vs |X_L| (DBP)",
+                                    "|Q|=4, |P|=2, eps=0.01");
+  fairsqg::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Fig. 10(d): efficiency vs |X_E| on LKI (Fig. 9(d) setting). Paper:
+// BiQGen fastest; pruning benefits grow with the number of edge variables
+// because forcing them to '1' quickly exhausts feasibility.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/bi_qgen.h"
+#include "core/enum_qgen.h"
+#include "core/kungs.h"
+#include "core/rf_qgen.h"
+
+namespace fairsqg::bench {
+namespace {
+
+const Scenario& GetScenario(size_t xe) {
+  static std::map<size_t, std::unique_ptr<Scenario>>* cache =
+      new std::map<size_t, std::unique_ptr<Scenario>>();
+  auto it = cache->find(xe);
+  if (it == cache->end()) {
+    ScenarioOptions options = DefaultOptions("lki");
+    options.num_edges = 5;
+    options.num_range_vars = 1;
+    options.num_edge_vars = xe;
+    options.max_domain_values = 6;
+    Result<Scenario> s = MakeScenario(options);
+    FAIRSQG_CHECK(s.ok()) << s.status().ToString();
+    it = cache->emplace(xe, std::make_unique<Scenario>(std::move(s).ValueOrDie()))
+             .first;
+  }
+  return *it->second;
+}
+
+using Runner = Result<QGenResult> (*)(const QGenConfig&);
+
+void BM_VaryXe(benchmark::State& state, Runner runner) {
+  QGenConfig config =
+      GetScenario(static_cast<size_t>(state.range(0))).MakeConfig(0.01);
+  size_t verified = 0;
+  for (auto _ : state) {
+    Result<QGenResult> r = runner(config);
+    FAIRSQG_CHECK(r.ok()) << r.status().ToString();
+    verified = r->stats.verified;
+  }
+  state.counters["verified"] = static_cast<double>(verified);
+}
+
+void RegisterAll() {
+  struct Algo {
+    const char* name;
+    Runner runner;
+  };
+  for (const Algo& algo : {Algo{"Kungs", &Kungs::Run},
+                           Algo{"EnumQGen", &EnumQGen::Run},
+                           Algo{"RfQGen", &RfQGen::Run},
+                           Algo{"BiQGen", &BiQGen::Run}}) {
+    auto* b = benchmark::RegisterBenchmark(
+        (std::string("Fig10d/") + algo.name + "/XE").c_str(),
+        [runner = algo.runner](benchmark::State& state) {
+          BM_VaryXe(state, runner);
+        });
+    for (int xe : {2, 3, 4, 5}) b->Arg(xe);
+    b->Unit(benchmark::kMillisecond)->Iterations(3);
+  }
+}
+
+}  // namespace
+}  // namespace fairsqg::bench
+
+int main(int argc, char** argv) {
+  fairsqg::bench::PrintFigureHeader("Fig 10(d)", "Efficiency vs |X_E| (LKI)",
+                                    "|Q|=5, |P|=2, eps=0.01");
+  fairsqg::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

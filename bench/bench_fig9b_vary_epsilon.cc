@@ -1,0 +1,54 @@
+// Fig. 9(b): effectiveness (I_eps) under varying ε on LKI.
+// Paper setting: |Q(u_o)|=4, |X|=3 (1 range + 2 edge), C=200, ε in 0.2..1.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/bi_qgen.h"
+#include "core/enum_qgen.h"
+#include "core/kungs.h"
+#include "core/rf_qgen.h"
+
+namespace fairsqg::bench {
+namespace {
+
+int Run() {
+  PrintFigureHeader("Fig 9(b)", "I_eps vs epsilon on LKI",
+                    "|Q|=4, |X|=3 (1 range + 2 edge), eps in {0.2..1.0}");
+  ScenarioOptions options = DefaultOptions("lki");
+  options.num_edges = 4;
+  options.num_range_vars = 1;
+  options.num_edge_vars = 2;
+  options.max_domain_values = 24;  // Richer single-variable domain (|I(Q)| ~ 100).
+  Result<Scenario> scenario = MakeScenario(options);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+
+  Table table({"eps", "algorithm", "I_eps", "eps_m", "|result|", "verified"});
+  for (double eps : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    QGenConfig config = scenario->MakeConfig(eps);
+    Truth truth = ComputeTruth(config).ValueOrDie();
+    auto add = [&](const char* name, const QGenResult& r) {
+      auto ind = EpsilonIndicator(r.pareto, truth.feasible, eps);
+      table.AddRow({Fmt(eps, 1), name, Fmt(ind.indicator, 3), Fmt(ind.eps_m, 4),
+                    std::to_string(r.pareto.size()),
+                    std::to_string(r.stats.verified)});
+    };
+    add("Kungs", Kungs::Run(config).ValueOrDie());
+    add("EnumQGen", EnumQGen::Run(config).ValueOrDie());
+    add("RfQGen", RfQGen::Run(config).ValueOrDie());
+    add("BiQGen", BiQGen::Run(config).ValueOrDie());
+  }
+  table.Print();
+  std::printf(
+      "\npaper shape: eps_m grows with eps (larger boxes keep fewer\n"
+      "representatives) yet stays well below eps; Rf/Bi match Enum.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairsqg::bench
+
+int main() { return fairsqg::bench::Run(); }

@@ -1,0 +1,78 @@
+// Fig. 9(e): "any time" quality under user preference — I_R of the
+// maintained set as a function of the fraction of I(Q) explored, for
+// lambda_R = 0.1 (favors diversity) and 0.9 (favors coverage), comparing
+// RfQGen's refine-always convergence against BiQGen's bi-directional one.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/bi_qgen.h"
+#include "core/rf_qgen.h"
+
+namespace fairsqg::bench {
+namespace {
+
+/// I_R of the archive state once `fraction` of the algorithm's own
+/// exploration has elapsed (the algorithms stop long before exhausting
+/// I(Q), so progress is normalized per run).
+double AnytimeR(const std::vector<AnytimePoint>& trace, size_t total_verified,
+                double fraction, double lambda_r, const Objectives& maxima) {
+  Objectives best;
+  for (const AnytimePoint& p : trace) {
+    if (static_cast<double>(p.verified) >
+        fraction * static_cast<double>(total_verified) + 1e-9) {
+      break;
+    }
+    best = p.best;
+  }
+  double d_star = maxima.diversity > 0 ? best.diversity / maxima.diversity : 0;
+  double f_star = maxima.coverage > 0 ? best.coverage / maxima.coverage : 0;
+  if (d_star > 1) d_star = 1;
+  if (f_star > 1) f_star = 1;
+  return (1.0 - lambda_r) * d_star + lambda_r * f_star;
+}
+
+int Run() {
+  PrintFigureHeader("Fig 9(e)",
+                    "Anytime I_R vs fraction of I(Q) explored (DBP)",
+                    "|Q|=4, |P|=2, |X|=3, eps=0.01, lambda_R in {0.1, 0.9}");
+  ScenarioOptions options = DefaultOptions("dbp");
+  options.num_edges = 4;
+  Result<Scenario> scenario = MakeScenario(options);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+  QGenConfig config = scenario->MakeConfig(0.01);
+  config.record_trace = true;
+  Truth truth = ComputeTruth(config).ValueOrDie();
+
+  QGenResult rf = RfQGen::Run(config).ValueOrDie();
+  QGenResult bi = BiQGen::Run(config).ValueOrDie();
+  size_t rf_total = rf.stats.verified;
+  size_t bi_total = bi.stats.verified;
+  std::printf("explored: RfQGen %zu, BiQGen %zu of |I(Q)|=%zu\n", rf_total,
+              bi_total, truth.all.size());
+
+  Table table({"fraction", "RfQGen l=0.1", "BiQGen l=0.1", "RfQGen l=0.9",
+               "BiQGen l=0.9"});
+  for (double f : {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0}) {
+    table.AddRow({Fmt(f, 2),
+                  Fmt(AnytimeR(rf.trace, rf_total, f, 0.1, truth.maxima), 3),
+                  Fmt(AnytimeR(bi.trace, bi_total, f, 0.1, truth.maxima), 3),
+                  Fmt(AnytimeR(rf.trace, rf_total, f, 0.9, truth.maxima), 3),
+                  Fmt(AnytimeR(bi.trace, bi_total, f, 0.9, truth.maxima), 3)});
+  }
+  table.Print();
+  std::printf(
+      "\npaper shape: RfQGen converges faster under lambda_R=0.1 (its\n"
+      "refinement order probes high-diversity instances first); BiQGen\n"
+      "converges faster under lambda_R=0.9 (backward relaxation finds\n"
+      "high-coverage border instances early).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairsqg::bench
+
+int main() { return fairsqg::bench::Run(); }

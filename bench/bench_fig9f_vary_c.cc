@@ -1,0 +1,57 @@
+// Fig. 9(f): I_R vs the coverage requirement C on DBP. Paper setting:
+// |Q(u_o)|=4, |P|=3, |X|=3, lambda_R=0.5, equal-opportunity split of C.
+// We sweep the coverage calibration fraction, which raises the per-group
+// target c the same way the paper raises C.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/bi_qgen.h"
+#include "core/enum_qgen.h"
+#include "core/rf_qgen.h"
+
+namespace fairsqg::bench {
+namespace {
+
+int Run() {
+  PrintFigureHeader("Fig 9(f)", "I_R vs coverage requirement C (DBP)",
+                    "|Q|=4, |P|=3, |X|=3, lambda_R=0.5");
+  Table table({"frac", "C", "feasible", "EnumQGen I_R", "RfQGen I_R",
+               "BiQGen I_R"});
+  for (double frac : {0.2, 0.4, 0.6, 0.8, 0.95}) {
+    ScenarioOptions options = DefaultOptions("dbp");
+    options.num_edges = 4;
+    options.num_groups = 3;
+    options.coverage_fraction = frac;
+    Result<Scenario> scenario = MakeScenario(options);
+    if (!scenario.ok()) {
+      std::fprintf(stderr, "frac=%.2f: %s\n", frac,
+                   scenario.status().ToString().c_str());
+      continue;
+    }
+    QGenConfig config = scenario->MakeConfig(0.01);
+    Truth truth = ComputeTruth(config).ValueOrDie();
+    auto r_of = [&](const QGenResult& r) {
+      return Fmt(RIndicator(r.pareto, 0.5, truth.maxima.diversity,
+                            truth.maxima.coverage),
+                 3);
+    };
+    table.AddRow({Fmt(frac, 2),
+                  std::to_string(scenario->groups->total_constraint()),
+                  std::to_string(truth.feasible.size()),
+                  r_of(EnumQGen::Run(config).ValueOrDie()),
+                  r_of(RfQGen::Run(config).ValueOrDie()),
+                  r_of(BiQGen::Run(config).ValueOrDie())});
+  }
+  table.Print();
+  std::printf(
+      "\npaper shape: raising the required coverage leaves fewer feasible\n"
+      "instances, reducing the chance of finding eps-dominating instances\n"
+      "(the feasible count drops as C grows; I_R stays flat or dips).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairsqg::bench
+
+int main() { return fairsqg::bench::Run(); }

@@ -1,0 +1,55 @@
+// Scalability (Section V's feasibility claim: "it takes BiQGen 78s over
+// LKI with 3M nodes and 26M edges"): runtime of RfQGen/BiQGen as the LKI
+// graph grows, versus the enumeration baseline. The paper's claim is
+// near-linear growth in graph size for the pruned algorithms.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "core/bi_qgen.h"
+#include "core/enum_qgen.h"
+#include "core/rf_qgen.h"
+
+namespace fairsqg::bench {
+namespace {
+
+int Run() {
+  PrintFigureHeader("Scalability", "Runtime vs graph scale (LKI)",
+                    "Fig 9(a) setting; scale sweep (override list with "
+                    "FAIRSQG_BENCH_SCALE for a single point)");
+  Table table({"scale", "|V|", "|E|", "|I(Q)|", "Enum (s)", "RfQGen (s)",
+               "BiQGen (s)"});
+  for (double scale : {0.05, 0.1, 0.2, 0.4}) {
+    ScenarioOptions options = DefaultOptions("lki");
+    options.scale = scale;
+    Result<Scenario> scenario = MakeScenario(options);
+    if (!scenario.ok()) {
+      std::fprintf(stderr, "scale=%.2f: %s\n", scale,
+                   scenario.status().ToString().c_str());
+      continue;
+    }
+    QGenConfig config = scenario->MakeConfig(0.01);
+    QGenResult enum_r = EnumQGen::Run(config).ValueOrDie();
+    QGenResult rf = RfQGen::Run(config).ValueOrDie();
+    QGenResult bi = BiQGen::Run(config).ValueOrDie();
+    table.AddRow({Fmt(scale, 2),
+                  std::to_string(scenario->dataset.graph.num_nodes()),
+                  std::to_string(scenario->dataset.graph.num_edges()),
+                  std::to_string(scenario->domains->InstanceSpaceSize(
+                      *scenario->tmpl)),
+                  Fmt(enum_r.stats.total_seconds, 3),
+                  Fmt(rf.stats.total_seconds, 3),
+                  Fmt(bi.stats.total_seconds, 3)});
+  }
+  table.Print();
+  std::printf(
+      "\npaper shape: generation stays feasible as the graph grows; the\n"
+      "pruned algorithms track well below the enumeration baseline.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairsqg::bench
+
+int main() { return fairsqg::bench::Run(); }

@@ -1,0 +1,53 @@
+// Table II: overview of the benchmark graphs (the paper's dataset summary),
+// generated at the current bench scale.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "graph/graph_stats.h"
+
+namespace fairsqg::bench {
+namespace {
+
+int Run() {
+  PrintFigureHeader("Table II", "Overview of benchmark graphs",
+                    "synthetic stand-ins at scale " + Fmt(BenchScale(), 2) +
+                        " (paper: DBP 1M/3.18M, LKI 3M/26M, Cite 4.9M/46M)");
+  Table table({"dataset", "|V|", "|E|", "node-labels", "edge-labels",
+               "avg #attr", "avg deg", "max deg", "max |adom|", "|P| max",
+               "output label"});
+  for (const char* name : {"dbp", "lki", "cite"}) {
+    Result<Dataset> d = MakeDataset(name, BenchScale(), 42);
+    if (!d.ok()) {
+      std::fprintf(stderr, "%s\n", d.status().ToString().c_str());
+      return 1;
+    }
+    GraphStats s = ComputeGraphStats(d->graph);
+    table.AddRow({name, std::to_string(s.num_nodes), std::to_string(s.num_edges),
+                  std::to_string(s.num_node_labels),
+                  std::to_string(s.num_edge_labels), Fmt(s.avg_attrs_per_node, 2),
+                  Fmt(s.avg_degree, 2), std::to_string(s.max_degree),
+                  std::to_string(s.max_active_domain),
+                  std::to_string(d->max_groups),
+                  d->schema->NodeLabelName(d->output_label)});
+  }
+  table.Print();
+
+  std::printf("\nlabel histograms (top 5):\n");
+  for (const char* name : {"dbp", "lki", "cite"}) {
+    Dataset d = MakeDataset(name, BenchScale(), 42).ValueOrDie();
+    GraphStats s = ComputeGraphStats(d.graph);
+    std::printf("  %s:", name);
+    for (size_t i = 0; i < s.label_histogram.size() && i < 5; ++i) {
+      std::printf(" %s=%zu", s.label_histogram[i].first.c_str(),
+                  s.label_histogram[i].second);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairsqg::bench
+
+int main() { return fairsqg::bench::Run(); }

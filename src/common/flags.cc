@@ -1,0 +1,153 @@
+#include "common/flags.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fairsqg {
+
+void FlagParser::DefineInt64(const std::string& name, int64_t default_value,
+                             const std::string& help) {
+  Flag f;
+  f.kind = Kind::kInt64;
+  f.help = help;
+  f.int_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagParser::DefineDouble(const std::string& name, double default_value,
+                              const std::string& help) {
+  Flag f;
+  f.kind = Kind::kDouble;
+  f.help = help;
+  f.double_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagParser::DefineString(const std::string& name,
+                              const std::string& default_value,
+                              const std::string& help) {
+  Flag f;
+  f.kind = Kind::kString;
+  f.help = help;
+  f.string_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagParser::DefineBool(const std::string& name, bool default_value,
+                            const std::string& help) {
+  Flag f;
+  f.kind = Kind::kBool;
+  f.help = help;
+  f.bool_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+Status FlagParser::SetFromText(const std::string& name, const std::string& text) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name + "\n" + HelpString());
+  }
+  Flag& f = it->second;
+  switch (f.kind) {
+    case Kind::kInt64: {
+      FAIRSQG_ASSIGN_OR_RETURN(f.int_value, ParseInt64(text));
+      break;
+    }
+    case Kind::kDouble: {
+      FAIRSQG_ASSIGN_OR_RETURN(f.double_value, ParseDouble(text));
+      break;
+    }
+    case Kind::kString:
+      f.string_value = text;
+      break;
+    case Kind::kBool:
+      if (text == "true" || text == "1" || text.empty()) {
+        f.bool_value = true;
+      } else if (text == "false" || text == "0") {
+        f.bool_value = false;
+      } else {
+        return Status::InvalidArgument("bad bool for --" + name + ": " + text);
+      }
+      break;
+  }
+  return Status::OK();
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      FAIRSQG_RETURN_NOT_OK(SetFromText(body.substr(0, eq), body.substr(eq + 1)));
+      continue;
+    }
+    // `--flag value` form, or bare `--flag` for booleans.
+    auto it = flags_.find(body);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + body + "\n" + HelpString());
+    }
+    if (it->second.kind == Kind::kBool) {
+      it->second.bool_value = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag --" + body + " expects a value");
+    }
+    FAIRSQG_RETURN_NOT_OK(SetFromText(body, argv[++i]));
+  }
+  return Status::OK();
+}
+
+const FlagParser::Flag& FlagParser::GetOrDie(const std::string& name,
+                                             Kind kind) const {
+  auto it = flags_.find(name);
+  FAIRSQG_CHECK(it != flags_.end()) << "flag --" << name << " was never defined";
+  FAIRSQG_CHECK(it->second.kind == kind) << "flag --" << name << " type mismatch";
+  return it->second;
+}
+
+int64_t FlagParser::GetInt64(const std::string& name) const {
+  return GetOrDie(name, Kind::kInt64).int_value;
+}
+double FlagParser::GetDouble(const std::string& name) const {
+  return GetOrDie(name, Kind::kDouble).double_value;
+}
+const std::string& FlagParser::GetString(const std::string& name) const {
+  return GetOrDie(name, Kind::kString).string_value;
+}
+bool FlagParser::GetBool(const std::string& name) const {
+  return GetOrDie(name, Kind::kBool).bool_value;
+}
+
+std::string FlagParser::HelpString() const {
+  std::ostringstream out;
+  out << "flags:\n";
+  for (const auto& [name, f] : flags_) {
+    out << "  --" << name << " (";
+    switch (f.kind) {
+      case Kind::kInt64:
+        out << "int, default " << f.int_value;
+        break;
+      case Kind::kDouble:
+        out << "double, default " << f.double_value;
+        break;
+      case Kind::kString:
+        out << "string, default '" << f.string_value << "'";
+        break;
+      case Kind::kBool:
+        out << "bool, default " << (f.bool_value ? "true" : "false");
+        break;
+    }
+    out << ") " << f.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace fairsqg

@@ -1,0 +1,63 @@
+#ifndef FAIRSQG_COMMON_FLAGS_H_
+#define FAIRSQG_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fairsqg {
+
+/// \brief Minimal `--name=value` / `--name value` command-line parser used by
+/// the example binaries and the benchmark harness.
+///
+/// Unknown flags are rejected so that typos surface immediately.
+class FlagParser {
+ public:
+  /// Registers a flag with a default value and help text.
+  void DefineInt64(const std::string& name, int64_t default_value,
+                   const std::string& help);
+  void DefineDouble(const std::string& name, double default_value,
+                    const std::string& help);
+  void DefineString(const std::string& name, const std::string& default_value,
+                    const std::string& help);
+  void DefineBool(const std::string& name, bool default_value,
+                  const std::string& help);
+
+  /// Parses argv; returns InvalidArgument on unknown flags or bad values.
+  /// Positional arguments are collected into positional().
+  Status Parse(int argc, const char* const* argv);
+
+  int64_t GetInt64(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// One line per flag: name, default, help.
+  std::string HelpString() const;
+
+ private:
+  enum class Kind { kInt64, kDouble, kString, kBool };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+    bool bool_value = false;
+  };
+
+  Status SetFromText(const std::string& name, const std::string& text);
+  const Flag& GetOrDie(const std::string& name, Kind kind) const;
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_COMMON_FLAGS_H_

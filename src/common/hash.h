@@ -1,0 +1,28 @@
+#ifndef FAIRSQG_COMMON_HASH_H_
+#define FAIRSQG_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace fairsqg {
+
+/// Mixes `value` into a running 64-bit hash (boost::hash_combine style,
+/// widened to 64 bits). Used for canonical instantiation keys.
+inline void HashCombine(uint64_t* seed, uint64_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 12) + (*seed >> 4);
+}
+
+/// Finalizer giving good avalanche behaviour for sequential ids.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_COMMON_HASH_H_

@@ -1,0 +1,46 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+
+namespace fairsqg {
+
+namespace {
+LogLevel g_threshold = LogLevel::kInfo;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogThreshold(LogLevel level) { g_threshold = level; }
+LogLevel GetLogThreshold() { return g_threshold; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= g_threshold || level_ == LogLevel::kFatal) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace fairsqg

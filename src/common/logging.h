@@ -1,0 +1,85 @@
+#ifndef FAIRSQG_COMMON_LOGGING_H_
+#define FAIRSQG_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace fairsqg {
+
+/// Log severities, in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+namespace internal_logging {
+
+/// \brief Builds one log line and emits it to stderr on destruction.
+///
+/// FATAL messages abort the process after emission; this is the mechanism
+/// behind FAIRSQG_CHECK in an exception-free codebase.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Discards the streamed expression; used for disabled log levels.
+class NullLog {
+ public:
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+/// \brief Minimum severity emitted by FAIRSQG_LOG; defaults to kInfo.
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+}  // namespace fairsqg
+
+#define FAIRSQG_LOG(level)                                     \
+  ::fairsqg::internal_logging::LogMessage(                     \
+      ::fairsqg::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Fatal assertion; evaluates `cond`, and on failure logs the streamed
+/// message and aborts. Active in all build modes.
+#define FAIRSQG_CHECK(cond)                     \
+  (cond) ? (void)0                              \
+         : ::fairsqg::internal_logging::Voidify() & FAIRSQG_LOG(Fatal) \
+               << "Check failed: " #cond " "
+
+#define FAIRSQG_CHECK_OK(expr)                                          \
+  do {                                                                  \
+    ::fairsqg::Status _st = (expr);                                     \
+    FAIRSQG_CHECK(_st.ok()) << _st.ToString();                          \
+  } while (false)
+
+#define FAIRSQG_DCHECK(cond) FAIRSQG_CHECK(cond)
+
+namespace fairsqg::internal_logging {
+
+/// Helper giving the ternary in FAIRSQG_CHECK a void-typed arm.
+struct Voidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace fairsqg::internal_logging
+
+#endif  // FAIRSQG_COMMON_LOGGING_H_

@@ -1,0 +1,59 @@
+#ifndef FAIRSQG_COMMON_RANDOM_H_
+#define FAIRSQG_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fairsqg {
+
+/// \brief Deterministic 64-bit PRNG (splitmix64 seeded xorshift128+).
+///
+/// All workload generators and randomized algorithms in the library draw
+/// from this engine so that every dataset, template, and stream is exactly
+/// reproducible from its seed across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Approximately Zipf-distributed rank in [0, n) with exponent s > 0.
+  /// Used for skewed degree/attribute distributions in synthetic graphs.
+  uint64_t NextZipf(uint64_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    if (values->empty()) return;
+    for (size_t i = values->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i + 1));
+      std::swap((*values)[i], (*values)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n); k <= n.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_COMMON_RANDOM_H_

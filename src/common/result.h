@@ -1,0 +1,75 @@
+#ifndef FAIRSQG_COMMON_RESULT_H_
+#define FAIRSQG_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace fairsqg {
+
+/// \brief A value of type T or a non-OK Status, in the Arrow Result<T> style.
+///
+/// Construction from a value or from a non-OK Status is implicit so that
+/// `return value;` and `return Status::...;` both work inside functions
+/// returning Result<T>.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : repr_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : repr_(std::move(status)) {
+    FAIRSQG_CHECK(!std::get<Status>(repr_).ok())
+        << "Result<T> must not be constructed from an OK Status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Status of the computation; OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Access to the held value; requires ok().
+  const T& ValueOrDie() const& {
+    FAIRSQG_CHECK(ok()) << "ValueOrDie on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    FAIRSQG_CHECK(ok()) << "ValueOrDie on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    FAIRSQG_CHECK(ok()) << "ValueOrDie on error: " << status().ToString();
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace fairsqg
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error Status from the enclosing function.
+#define FAIRSQG_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  FAIRSQG_ASSIGN_OR_RETURN_IMPL_(                         \
+      FAIRSQG_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define FAIRSQG_CONCAT_INNER_(x, y) x##y
+#define FAIRSQG_CONCAT_(x, y) FAIRSQG_CONCAT_INNER_(x, y)
+
+#define FAIRSQG_ASSIGN_OR_RETURN_IMPL_(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                   \
+  if (!result_name.ok()) return result_name.status();           \
+  lhs = std::move(result_name).ValueOrDie()
+
+#endif  // FAIRSQG_COMMON_RESULT_H_

@@ -1,0 +1,93 @@
+#ifndef FAIRSQG_COMMON_STATUS_H_
+#define FAIRSQG_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace fairsqg {
+
+/// Error category carried by a non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kIoError = 6,
+  kInternal = 7,
+  kUnimplemented = 8,
+};
+
+/// \brief Returns a short human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation that can fail, in the Arrow/RocksDB style.
+///
+/// The library does not use exceptions; every fallible public entry point
+/// returns a Status (or a Result<T>, see result.h). The OK state is
+/// allocation-free.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory functions, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status AlreadyExists(std::string msg);
+  static Status OutOfRange(std::string msg);
+  static Status FailedPrecondition(std::string msg);
+  static Status IoError(std::string msg);
+  static Status Internal(std::string msg);
+  static Status Unimplemented(std::string msg);
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
+  /// Message text; empty for OK.
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // Null for OK; non-OK statuses are rare so the allocation is acceptable.
+  std::unique_ptr<Rep> rep_;
+};
+
+}  // namespace fairsqg
+
+/// Propagates a non-OK Status from the enclosing function.
+#define FAIRSQG_RETURN_NOT_OK(expr)                \
+  do {                                             \
+    ::fairsqg::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+#endif  // FAIRSQG_COMMON_STATUS_H_

@@ -1,0 +1,43 @@
+#ifndef FAIRSQG_COMMON_STRING_UTIL_H_
+#define FAIRSQG_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fairsqg {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string_view> SplitString(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Parses a signed 64-bit integer; the whole string must be consumed.
+Result<int64_t> ParseInt64(std::string_view text);
+
+/// Parses a double; the whole string must be consumed.
+Result<double> ParseDouble(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Joins the elements of `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// \brief Levenshtein edit distance between two strings.
+///
+/// Used by the diversity measure's attribute-tuple distance. Cost is
+/// O(|a|*|b|) with O(min) memory.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Edit distance normalized to [0, 1] by max(|a|, |b|); 0 for two empties.
+double NormalizedEditDistance(std::string_view a, std::string_view b);
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_COMMON_STRING_UTIL_H_

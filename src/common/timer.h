@@ -1,0 +1,35 @@
+#ifndef FAIRSQG_COMMON_TIMER_H_
+#define FAIRSQG_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace fairsqg {
+
+/// \brief Monotonic wall-clock stopwatch used by the benchmark harness and
+/// the online algorithm's delay-time accounting.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_COMMON_TIMER_H_

@@ -1,0 +1,260 @@
+#include "core/bi_qgen.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <unordered_set>
+
+#include "common/timer.h"
+#include "core/pareto_archive.h"
+#include "core/template_refiner.h"
+#include "core/verifier.h"
+
+namespace fairsqg {
+
+namespace {
+
+
+/// True when the archive already ε-dominates every refinement of a parent
+/// with diversity `max_diversity` (box-level check; see rf_qgen.cc).
+bool SubtreeCovered(const ParetoArchive& archive, double max_diversity,
+                    double max_coverage, double epsilon) {
+  BoxCoord bound = BoxOf({max_diversity, max_coverage}, epsilon);
+  for (const EvaluatedPtr& m : archive.Entries()) {
+    if (BoxDominatesOrEqual(BoxOf(m->obj, epsilon), bound)) return true;
+  }
+  return false;
+}
+
+/// A feasible sandwich pair (low ≺_I high) with equal boxing coordinates in
+/// one objective: everything strictly between is ε-dominated (Lemma 3).
+struct SandwichPair {
+  Instantiation low;   // The more relaxed end (forward side).
+  Instantiation high;  // The more refined end (backward side).
+};
+
+struct WorkItem {
+  Instantiation inst;
+  uint32_t changed_var = 0;
+  // Parent context for incremental verification; forward items carry the
+  // parent's candidate space, backward items the parent's match set.
+  EvaluatedPtr parent_eval;
+  std::shared_ptr<const CandidateSpace> parent_cands;
+};
+
+struct BiExplorer {
+  const QGenConfig& config;
+  InstanceVerifier verifier;
+  ParetoArchive archive;
+  std::unordered_set<Instantiation, Instantiation::Hasher> visited;
+  std::vector<SandwichPair> sbounds;
+  std::deque<WorkItem> forward;
+  std::deque<WorkItem> backward;
+  QGenResult* result;
+
+  // Most recent feasible instances of each direction, paired for SBounds.
+  EvaluatedPtr last_forward;
+  EvaluatedPtr last_backward;
+
+  BiExplorer(const QGenConfig& cfg, QGenResult* res)
+      : config(cfg), verifier(cfg), archive(cfg.epsilon), result(res) {}
+
+  bool Budget() const {
+    return config.max_verifications == 0 ||
+           result->stats.verified < config.max_verifications;
+  }
+
+  /// Procedure SPrune: q lies strictly inside a recorded sandwich pair.
+  bool SPrune(const Instantiation& inst) const {
+    if (!config.use_sandwich_pruning) return false;
+    for (const SandwichPair& p : sbounds) {
+      if (inst.StrictlyRefines(p.low) && p.high.StrictlyRefines(inst)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Records a pair (lines 16-17 of Fig. 6), dropping pairs it subsumes.
+  void UpdateSBounds(const EvaluatedPtr& fwd, const EvaluatedPtr& bwd) {
+    if (fwd == nullptr || bwd == nullptr) return;
+    if (!bwd->inst.StrictlyRefines(fwd->inst)) return;
+    BoxCoord bf = BoxOf(fwd->obj, config.epsilon);
+    BoxCoord bb = BoxOf(bwd->obj, config.epsilon);
+    if (bf.diversity != bb.diversity && bf.coverage != bb.coverage) return;
+    // Drop existing pairs whose span lies inside the new pair.
+    std::erase_if(sbounds, [&](const SandwichPair& p) {
+      return p.low.Refines(fwd->inst) && bwd->inst.Refines(p.high);
+    });
+    sbounds.push_back({fwd->inst, bwd->inst});
+  }
+
+  void Trace() {
+    if (config.record_trace) {
+      result->trace.push_back(
+          {result->stats.verified, archive.BestObjectives(), archive.size()});
+    }
+  }
+
+  /// One forward step (lines 4-9): verify, update, spawn refinements.
+  ///
+  /// A sandwich-pruned instance skips the expensive verification and the
+  /// archive update (Lemma 3 guarantees it is ε-dominated) but still
+  /// spawns its children with the *ancestor's* verification context —
+  /// otherwise instances beyond the sandwiched band, reachable only
+  /// through it, would never be explored. An ancestor's match set is a
+  /// superset of any descendant's (Lemma 2), so incVerify stays sound with
+  /// the stale context.
+  void StepForward() {
+    WorkItem item = std::move(forward.front());
+    forward.pop_front();
+    if (!visited.insert(item.inst).second) {
+      ++result->stats.pruned;
+      return;
+    }
+
+    EvaluatedPtr eval;
+    auto cands = std::shared_ptr<CandidateSpace>();
+    bool sandwiched = SPrune(item.inst);
+    if (sandwiched) {
+      ++result->stats.pruned;
+    } else {
+      cands = std::make_shared<CandidateSpace>();
+      if (item.parent_eval != nullptr && config.use_incremental_verify) {
+        eval = verifier.VerifyRefined(item.inst, *item.parent_cands,
+                                      *item.parent_eval, item.changed_var,
+                                      cands.get());
+      } else {
+        eval = verifier.Verify(item.inst, cands.get());
+      }
+      ++result->stats.verified;
+      if (!eval->feasible) return;  // Refinements stay infeasible (Lemma 2).
+      ++result->stats.feasible;
+      archive.Update(eval);
+      Trace();
+      last_forward = eval;
+      UpdateSBounds(last_forward, last_backward);
+      if (config.use_subtree_pruning &&
+          SubtreeCovered(archive, eval->obj.diversity,
+                         static_cast<double>(config.groups->total_constraint()),
+                         config.epsilon)) {
+        return;  // Every refinement of this instance is already ε-dominated.
+      }
+    }
+
+    RefinementHints hints =
+        (!sandwiched && config.use_template_refinement)
+            ? ComputeRefinementHints(*config.graph, *config.tmpl, *config.domains,
+                                     eval->matches)
+            : RefinementHints::None(*config.tmpl);
+    std::vector<LatticeStep> children = LatticeNeighbors::RefineChildren(
+        *config.tmpl, *config.domains, item.inst, hints);
+    result->stats.generated += children.size();
+    // Context for the children: this instance if verified, otherwise the
+    // ancestor context the item itself carried.
+    const EvaluatedPtr& ctx_eval = sandwiched ? item.parent_eval : eval;
+    const std::shared_ptr<const CandidateSpace> ctx_cands =
+        sandwiched ? item.parent_cands
+                   : std::shared_ptr<const CandidateSpace>(cands);
+    for (LatticeStep& child : children) {
+      // A sandwiched item's changed_var no longer matches the ancestor
+      // context, so children re-derive from the ancestor conservatively:
+      // DeriveRefined only re-filters the changed literal's node against a
+      // superset, which remains correct for any ancestor.
+      forward.push_back(
+          {std::move(child.inst), child.var_index, ctx_eval, ctx_cands});
+    }
+  }
+
+  /// One backward step (lines 10-15): verify; if feasible the feasibility
+  /// border has been reached — record the instance and stop relaxing (the
+  /// forward exploration owns the downward-closed feasible region); if
+  /// infeasible, descend further with a bounded-width beam of relaxations
+  /// so the backward pass homes in on the high-coverage border instead of
+  /// sweeping the whole infeasible upper set (DESIGN.md §4).
+  void StepBackward() {
+    WorkItem item = std::move(backward.front());
+    backward.pop_front();
+    if (!visited.insert(item.inst).second || SPrune(item.inst)) {
+      ++result->stats.pruned;
+      return;
+    }
+    EvaluatedPtr eval;
+    if (item.parent_eval != nullptr && config.use_incremental_verify) {
+      eval = verifier.VerifyRelaxed(item.inst, *item.parent_eval);
+    } else {
+      eval = verifier.Verify(item.inst);
+    }
+    ++result->stats.verified;
+    if (eval->feasible) {
+      ++result->stats.feasible;
+      archive.Update(eval);
+      Trace();
+      last_backward = eval;
+      UpdateSBounds(last_forward, last_backward);
+      return;  // Border reached; relaxations belong to the forward region.
+    }
+
+    std::vector<LatticeStep> children =
+        LatticeNeighbors::RelaxChildren(*config.tmpl, *config.domains, item.inst);
+    result->stats.generated += children.size();
+    // Beam: prefer relaxing the most refined bindings (largest step back
+    // toward the feasibility border); keep at most kBackwardBeam children.
+    constexpr size_t kBackwardBeam = 2;
+    std::sort(children.begin(), children.end(),
+              [&](const LatticeStep& a, const LatticeStep& b) {
+                return StepDepth(a) > StepDepth(b);
+              });
+    if (children.size() > kBackwardBeam) {
+      result->stats.pruned += children.size() - kBackwardBeam;
+      children.resize(kBackwardBeam);
+    }
+    // Depth-first descent: dive straight down to the feasibility border
+    // so the high-coverage instances surface within the first few rounds.
+    for (size_t i = children.size(); i-- > 0;) {
+      backward.push_front(
+          {std::move(children[i].inst), children[i].var_index, eval, nullptr});
+    }
+  }
+
+  /// Depth proxy of the changed variable's binding in `step`: how refined
+  /// the variable still is after the relaxation.
+  int32_t StepDepth(const LatticeStep& step) const {
+    if (step.var_index < config.tmpl->num_range_vars()) {
+      return step.inst.range_binding(step.var_index);
+    }
+    return step.inst.edge_binding(
+        static_cast<EdgeVarId>(step.var_index - config.tmpl->num_range_vars()));
+  }
+
+  void Run() {
+    Instantiation root = Instantiation::MostRelaxed(*config.tmpl);
+    Instantiation bottom = Instantiation::MostRefined(*config.tmpl, *config.domains);
+    forward.push_back({root, 0, nullptr, nullptr});
+    ++result->stats.generated;
+    if (bottom != root) {
+      backward.push_back({bottom, 0, nullptr, nullptr});
+      ++result->stats.generated;
+    }
+    while ((!forward.empty() || !backward.empty()) && Budget()) {
+      if (!forward.empty()) StepForward();
+      if (!backward.empty() && Budget()) StepBackward();
+    }
+  }
+};
+
+}  // namespace
+
+Result<QGenResult> BiQGen::Run(const QGenConfig& config) {
+  FAIRSQG_RETURN_NOT_OK(config.Validate());
+  Timer timer;
+  QGenResult result;
+  BiExplorer explorer(config, &result);
+  explorer.Run();
+  result.pareto = explorer.archive.SortedEntries();
+  result.stats.verify_seconds = explorer.verifier.verify_seconds();
+  result.stats.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace fairsqg

@@ -1,0 +1,27 @@
+#ifndef FAIRSQG_CORE_BI_QGEN_H_
+#define FAIRSQG_CORE_BI_QGEN_H_
+
+#include "common/result.h"
+#include "core/config.h"
+#include "core/qgen_result.h"
+
+namespace fairsqg {
+
+/// \brief BiQGen (Section IV-B, Fig. 6): bi-directional lattice exploration.
+///
+/// A forward frontier refines from the most relaxed instantiation q_r
+/// (SpawnF, as in RfQGen) while a backward frontier relaxes from the most
+/// refined instantiation q_b (SpawnB). Feasible "sandwich" pairs (q, q')
+/// with q' refining q and equal boxing coordinates in one objective prove
+/// that every instance strictly between them is ε-dominated (Lemma 3);
+/// such instances are skipped by SPrune without verification. Convergence
+/// balances high-diversity (forward) and high-coverage (backward)
+/// instances (Section V, Fig. 9(e)).
+class BiQGen {
+ public:
+  static Result<QGenResult> Run(const QGenConfig& config);
+};
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_CORE_BI_QGEN_H_

@@ -1,0 +1,66 @@
+#include "core/cbm.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "core/enumerate.h"
+
+namespace fairsqg {
+
+Result<QGenResult> Cbm::Run(const QGenConfig& config, size_t num_sections) {
+  FAIRSQG_RETURN_NOT_OK(config.Validate());
+  Timer timer;
+  QGenResult result;
+  InstanceVerifier verifier(config);
+  FAIRSQG_ASSIGN_OR_RETURN(
+      std::vector<EvaluatedPtr> all,
+      VerifyAllInstances(config, &verifier, &result.stats));
+  std::vector<EvaluatedPtr> feasible = FeasibleOnly(all);
+  if (feasible.empty()) {
+    result.stats.total_seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  // Anchor points: the single-objective optima.
+  auto by_diversity = [](const EvaluatedPtr& a, const EvaluatedPtr& b) {
+    return a->obj.diversity < b->obj.diversity;
+  };
+  auto by_coverage = [](const EvaluatedPtr& a, const EvaluatedPtr& b) {
+    return a->obj.coverage < b->obj.coverage;
+  };
+  EvaluatedPtr max_div =
+      *std::max_element(feasible.begin(), feasible.end(), by_diversity);
+  EvaluatedPtr max_cov =
+      *std::max_element(feasible.begin(), feasible.end(), by_coverage);
+
+  std::vector<EvaluatedPtr> anchors{max_div, max_cov};
+
+  // Bisect the coverage range between the anchors into ε-constraint
+  // levels; each level is an independent constrained optimization pass.
+  double lo = max_div->obj.coverage;
+  double hi = max_cov->obj.coverage;
+  if (num_sections > 0 && hi > lo) {
+    for (size_t s = 1; s < num_sections; ++s) {
+      double theta =
+          lo + (hi - lo) * static_cast<double>(s) / static_cast<double>(num_sections);
+      const EvaluatedPtr* best = nullptr;
+      for (const EvaluatedPtr& e : feasible) {  // One full scan per level.
+        if (e->obj.coverage >= theta &&
+            (best == nullptr || e->obj.diversity > (*best)->obj.diversity)) {
+          best = &e;
+        }
+      }
+      if (best != nullptr) anchors.push_back(*best);
+    }
+  }
+
+  // Drop duplicates and dominated anchors.
+  std::sort(anchors.begin(), anchors.end());
+  anchors.erase(std::unique(anchors.begin(), anchors.end()), anchors.end());
+  result.pareto = ExactParetoSet(std::move(anchors));
+  result.stats.verify_seconds = verifier.verify_seconds();
+  result.stats.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace fairsqg

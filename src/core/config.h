@@ -1,0 +1,69 @@
+#ifndef FAIRSQG_CORE_CONFIG_H_
+#define FAIRSQG_CORE_CONFIG_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "core/groups.h"
+#include "core/measures.h"
+#include "graph/graph.h"
+#include "matching/subgraph_matcher.h"
+#include "query/domains.h"
+#include "query/query_template.h"
+
+namespace fairsqg {
+
+/// \brief A query-generation configuration C = (G, Q(u_o), P, ε) (Section
+/// III-B), plus the measure parameters and the optimization toggles that
+/// the ablation benchmarks flip.
+///
+/// All pointers are non-owning and must outlive the algorithms.
+struct QGenConfig {
+  const Graph* graph = nullptr;
+  const QueryTemplate* tmpl = nullptr;
+  const VariableDomains* domains = nullptr;
+  const GroupSet* groups = nullptr;
+
+  /// Approximation tolerance ε > 0.
+  double epsilon = 0.01;
+
+  DiversityConfig diversity;
+
+  /// Matching semantics for q(G); the paper evaluates under subgraph
+  /// isomorphism, homomorphism is provided as an extension.
+  MatchSemantics semantics = MatchSemantics::kIsomorphism;
+
+  /// Spawn's template refinement: restrict variable domains to values in
+  /// G_q^d and pin edge variables with no matching edge (Section IV-A).
+  bool use_template_refinement = true;
+  /// BiQGen's "sandwich" pruning (Lemma 3).
+  bool use_sandwich_pruning = true;
+  /// incVerify: candidate reuse + parent-match-set restriction (Lemma 2).
+  bool use_incremental_verify = true;
+  /// Skip spawning a subtree all of whose instances are already ε-dominated
+  /// by the archive (δ bounded by the parent's, f bounded by C).
+  bool use_subtree_pruning = true;
+
+  /// Safety cap on verifications; 0 means unlimited.
+  size_t max_verifications = 0;
+
+  /// Record an anytime-quality trace point after every archive update
+  /// (drives the Fig. 9(e) / Fig. 11(b) anytime plots).
+  bool record_trace = false;
+
+  Status Validate() const {
+    if (graph == nullptr || tmpl == nullptr || domains == nullptr ||
+        groups == nullptr) {
+      return Status::InvalidArgument("QGenConfig pointers must all be set");
+    }
+    if (epsilon <= 0) return Status::InvalidArgument("epsilon must be > 0");
+    if (domains->num_vars() != tmpl->num_range_vars()) {
+      return Status::InvalidArgument("domains built for a different template");
+    }
+    return tmpl->Validate();
+  }
+};
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_CORE_CONFIG_H_

@@ -1,0 +1,77 @@
+#ifndef FAIRSQG_CORE_DOMINANCE_H_
+#define FAIRSQG_CORE_DOMINANCE_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace fairsqg {
+
+/// The bi-objective coordinate of an instance: (δ(q), f(q)).
+struct Objectives {
+  double diversity = 0;
+  double coverage = 0;
+};
+
+/// \brief Pareto dominance (Section III-B): a dominates b iff a is >= in
+/// both objectives and strictly greater in at least one.
+inline bool Dominates(const Objectives& a, const Objectives& b) {
+  return (a.diversity >= b.diversity && a.coverage > b.coverage) ||
+         (a.diversity > b.diversity && a.coverage >= b.coverage);
+}
+
+/// \brief ε-dominance: a ⪰_ε b.
+///
+/// Implemented on the 1-shifted coordinates,
+///   (1+ε)(1+δ(a)) >= 1+δ(b)  and  (1+ε)(1+f(a)) >= 1+f(b),
+/// which is the relation the log-scale boxing coordinates of Section IV
+/// discretize exactly (Laumanns et al. [26]); the shift also makes zero
+/// objective values well-behaved. DESIGN.md §4 records this resolution of
+/// the paper's raw-value phrasing.
+inline bool EpsilonDominates(const Objectives& a, const Objectives& b,
+                             double epsilon) {
+  return (1.0 + epsilon) * (1.0 + a.diversity) >= 1.0 + b.diversity &&
+         (1.0 + epsilon) * (1.0 + a.coverage) >= 1.0 + b.coverage;
+}
+
+/// Integer boxing coordinate Box(q) = (floor(log(1+δ)/log(1+ε)),
+/// floor(log(1+f)/log(1+ε))) (Section IV, "Instance Lattice" item (c)).
+struct BoxCoord {
+  int64_t diversity = 0;
+  int64_t coverage = 0;
+
+  bool operator==(const BoxCoord& other) const {
+    return diversity == other.diversity && coverage == other.coverage;
+  }
+  bool operator!=(const BoxCoord& other) const { return !(*this == other); }
+};
+
+inline BoxCoord BoxOf(const Objectives& obj, double epsilon) {
+  double scale = std::log1p(epsilon);
+  return BoxCoord{
+      static_cast<int64_t>(std::floor(std::log1p(obj.diversity) / scale)),
+      static_cast<int64_t>(std::floor(std::log1p(obj.coverage) / scale))};
+}
+
+/// Box-level dominance: componentwise >= with at least one >.
+inline bool BoxDominates(const BoxCoord& a, const BoxCoord& b) {
+  return a.diversity >= b.diversity && a.coverage >= b.coverage &&
+         (a.diversity > b.diversity || a.coverage > b.coverage);
+}
+
+/// Box(a) ⪰ Box(b): dominates or equal.
+inline bool BoxDominatesOrEqual(const BoxCoord& a, const BoxCoord& b) {
+  return a.diversity >= b.diversity && a.coverage >= b.coverage;
+}
+
+/// Smallest ε' such that a ⪰_ε' b (0 when a already dominates-or-equals b
+/// in the shifted sense). Used by the ε-indicator.
+inline double RequiredEpsilon(const Objectives& a, const Objectives& b) {
+  double need_d = (1.0 + b.diversity) / (1.0 + a.diversity) - 1.0;
+  double need_f = (1.0 + b.coverage) / (1.0 + a.coverage) - 1.0;
+  double need = need_d > need_f ? need_d : need_f;
+  return need > 0 ? need : 0.0;
+}
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_CORE_DOMINANCE_H_

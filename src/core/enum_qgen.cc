@@ -1,0 +1,41 @@
+#include "core/enum_qgen.h"
+
+#include "common/timer.h"
+#include "core/enumerate.h"
+#include "core/pareto_archive.h"
+
+namespace fairsqg {
+
+Result<QGenResult> EnumQGen::Run(const QGenConfig& config) {
+  FAIRSQG_RETURN_NOT_OK(config.Validate());
+  Timer timer;
+  QGenResult result;
+  InstanceVerifier verifier(config);
+  ParetoArchive archive(config.epsilon);
+
+  InstantiationEnumerator it(*config.tmpl, *config.domains);
+  Instantiation inst;
+  while (it.Next(&inst)) {
+    EvaluatedPtr e = verifier.Verify(inst);
+    ++result.stats.generated;
+    ++result.stats.verified;
+    if (e->feasible) {
+      ++result.stats.feasible;
+      archive.Update(e);
+      if (config.record_trace) {
+        result.trace.push_back(
+            {result.stats.verified, archive.BestObjectives(), archive.size()});
+      }
+    }
+    if (config.max_verifications > 0 &&
+        result.stats.verified >= config.max_verifications) {
+      break;
+    }
+  }
+  result.pareto = archive.SortedEntries();
+  result.stats.verify_seconds = verifier.verify_seconds();
+  result.stats.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace fairsqg

@@ -1,0 +1,23 @@
+#ifndef FAIRSQG_CORE_ENUM_QGEN_H_
+#define FAIRSQG_CORE_ENUM_QGEN_H_
+
+#include "common/result.h"
+#include "core/config.h"
+#include "core/qgen_result.h"
+
+namespace fairsqg {
+
+/// \brief EnumQGen (Theorem 1's naive algorithm): enumerate all of I(Q),
+/// verify every instance, and feed the feasible ones through procedure
+/// Update to obtain an ε-Pareto instance set.
+///
+/// Exact on the enumerated space but pays for every verification; the
+/// baseline that RfQGen and BiQGen are measured against.
+class EnumQGen {
+ public:
+  static Result<QGenResult> Run(const QGenConfig& config);
+};
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_CORE_ENUM_QGEN_H_

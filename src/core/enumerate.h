@@ -1,0 +1,61 @@
+#ifndef FAIRSQG_CORE_ENUMERATE_H_
+#define FAIRSQG_CORE_ENUMERATE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/config.h"
+#include "core/evaluated.h"
+#include "core/stats.h"
+#include "core/verifier.h"
+
+namespace fairsqg {
+
+/// \brief Odometer over the full instantiation space I(Q):
+/// every range variable ranges over {wildcard, 0, ..., |dom|-1} and every
+/// edge variable over {0, 1}. The first instantiation produced is the most
+/// relaxed one.
+class InstantiationEnumerator {
+ public:
+  InstantiationEnumerator(const QueryTemplate& tmpl,
+                          const VariableDomains& domains);
+
+  /// Advances to the next instantiation; false when exhausted.
+  bool Next(Instantiation* out);
+
+  /// |I(Q)| = prod (|dom|+1) * 2^|X_E| (saturating).
+  size_t SpaceSize() const;
+
+  void Reset();
+
+ private:
+  const QueryTemplate* tmpl_;
+  const VariableDomains* domains_;
+  Instantiation current_;
+  bool started_ = false;
+  bool exhausted_ = false;
+};
+
+/// \brief Verifies the entire instance space (the Δ2p algorithm of Theorem
+/// 1 without the archive step). Returns every evaluated instance —
+/// infeasible ones included — in enumeration order.
+///
+/// Fails with FailedPrecondition when |I(Q)| exceeds `cap` (guard against
+/// accidental exponential blow-ups); cap 0 means 1e6.
+Result<std::vector<EvaluatedPtr>> VerifyAllInstances(const QGenConfig& config,
+                                                     InstanceVerifier* verifier,
+                                                     GenStats* stats,
+                                                     size_t cap = 0);
+
+/// Convenience: feasible subset of `all`.
+std::vector<EvaluatedPtr> FeasibleOnly(const std::vector<EvaluatedPtr>& all);
+
+/// Exact Pareto set of `instances` by sort-and-sweep (Kung et al.'s
+/// algorithm specialised to two objectives): sort by descending diversity,
+/// keep instances whose coverage strictly exceeds the running maximum.
+/// Duplicate coordinates keep one representative.
+std::vector<EvaluatedPtr> ExactParetoSet(std::vector<EvaluatedPtr> instances);
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_CORE_ENUMERATE_H_

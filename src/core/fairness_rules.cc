@@ -1,0 +1,101 @@
+#include "core/fairness_rules.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairsqg {
+
+namespace {
+
+Result<GroupSet> Rebuild(size_t num_graph_nodes, const GroupSet& groups,
+                         std::vector<size_t> constraints) {
+  std::vector<NodeSet> sets;
+  sets.reserve(groups.num_groups());
+  for (size_t i = 0; i < groups.num_groups(); ++i) sets.push_back(groups.group(i));
+  FAIRSQG_ASSIGN_OR_RETURN(
+      GroupSet out,
+      GroupSet::Create(num_graph_nodes, std::move(sets), std::move(constraints)));
+  for (size_t i = 0; i < groups.num_groups(); ++i) out.set_name(i, groups.name(i));
+  return out;
+}
+
+}  // namespace
+
+Result<GroupSet> EqualOpportunityConstraints(size_t num_graph_nodes,
+                                             const GroupSet& groups,
+                                             size_t total_coverage) {
+  size_t m = groups.num_groups();
+  if (m == 0) return Status::InvalidArgument("need at least one group");
+  std::vector<size_t> constraints(m, total_coverage / m);
+  size_t remainder = total_coverage % m;
+  for (size_t i = 0; i < remainder; ++i) ++constraints[i];
+  for (size_t i = 0; i < m; ++i) {
+    if (constraints[i] > groups.group(i).size()) {
+      return Status::FailedPrecondition(
+          "group '" + groups.name(i) + "' (" +
+          std::to_string(groups.group(i).size()) +
+          " nodes) cannot meet equal-opportunity target " +
+          std::to_string(constraints[i]));
+    }
+  }
+  return Rebuild(num_graph_nodes, groups, std::move(constraints));
+}
+
+Result<GroupSet> DisparateImpactConstraints(size_t num_graph_nodes,
+                                            const GroupSet& groups,
+                                            size_t total_coverage, double ratio) {
+  size_t m = groups.num_groups();
+  if (m == 0) return Status::InvalidArgument("need at least one group");
+  if (ratio <= 0 || ratio > 1) {
+    return Status::InvalidArgument("ratio must be in (0, 1]");
+  }
+  // Reference majority: the largest group.
+  size_t major = 0;
+  for (size_t i = 1; i < m; ++i) {
+    if (groups.group(i).size() > groups.group(major).size()) major = i;
+  }
+  // Largest feasible majority target under the budget and group sizes.
+  auto minority_target = [&](size_t c_major) {
+    return static_cast<size_t>(
+        std::ceil(ratio * static_cast<double>(c_major) - 1e-9));
+  };
+  size_t best = 0;
+  for (size_t c = 1; c <= groups.group(major).size(); ++c) {
+    size_t total = c;
+    bool fits = true;
+    for (size_t i = 0; i < m; ++i) {
+      if (i == major) continue;
+      size_t target = minority_target(c);
+      if (target > groups.group(i).size()) {
+        fits = false;
+        break;
+      }
+      total += target;
+    }
+    if (!fits || total > total_coverage) break;
+    best = c;
+  }
+  if (best == 0) {
+    return Status::FailedPrecondition(
+        "no disparate-impact constraint assignment fits the budget");
+  }
+  std::vector<size_t> constraints(m, minority_target(best));
+  constraints[major] = best;
+  return Rebuild(num_graph_nodes, groups, std::move(constraints));
+}
+
+bool SatisfiesDisparateImpact(const std::vector<size_t>& coverage_counts,
+                              double ratio) {
+  size_t max_count = 0;
+  for (size_t c : coverage_counts) max_count = std::max(max_count, c);
+  if (max_count == 0) return true;
+  for (size_t c : coverage_counts) {
+    if (static_cast<double>(c) + 1e-9 <
+        ratio * static_cast<double>(max_count)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fairsqg

@@ -1,0 +1,44 @@
+#ifndef FAIRSQG_CORE_FAIRNESS_RULES_H_
+#define FAIRSQG_CORE_FAIRNESS_RULES_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/groups.h"
+
+namespace fairsqg {
+
+/// \brief Helpers constructing coverage constraints for the practical
+/// fairness measures the paper notes group coverage can express (Section
+/// III-B): Equal Opportunity and disparate-impact ("80% rule") fairness.
+///
+/// Each helper takes existing group node sets (constraints ignored) and a
+/// total budget C, and returns a GroupSet with the rule's per-group
+/// constraints.
+
+/// Equal Opportunity: every group gets the same target c = C / m (remainder
+/// distributed to the first groups). Fails if any group is smaller than its
+/// target.
+Result<GroupSet> EqualOpportunityConstraints(size_t num_graph_nodes,
+                                             const GroupSet& groups,
+                                             size_t total_coverage);
+
+/// Disparate-impact ("80% rule"): the largest group is the reference
+/// majority with target c_major; every other (minority) group must be
+/// covered with at least ceil(ratio * c_major) nodes (ratio 0.8 gives the
+/// EEOC rule). The majority target is chosen as the largest c_major such
+/// that c_major + (m-1) * ceil(ratio * c_major) <= total_coverage and all
+/// targets fit their groups.
+Result<GroupSet> DisparateImpactConstraints(size_t num_graph_nodes,
+                                            const GroupSet& groups,
+                                            size_t total_coverage,
+                                            double ratio = 0.8);
+
+/// True iff `coverage_counts` satisfies the ratio rule a posteriori: every
+/// group's count is at least `ratio` times the maximum group count.
+bool SatisfiesDisparateImpact(const std::vector<size_t>& coverage_counts,
+                              double ratio = 0.8);
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_CORE_FAIRNESS_RULES_H_

@@ -1,0 +1,97 @@
+#include "core/groups.h"
+
+#include <algorithm>
+#include <map>
+
+namespace fairsqg {
+
+Result<GroupSet> GroupSet::Create(size_t num_graph_nodes,
+                                  std::vector<NodeSet> groups,
+                                  std::vector<size_t> constraints) {
+  if (groups.size() != constraints.size()) {
+    return Status::InvalidArgument("groups/constraints size mismatch");
+  }
+  GroupSet out;
+  out.node_group_.assign(num_graph_nodes, kNoGroup);
+  for (size_t i = 0; i < groups.size(); ++i) {
+    NodeSet& g = groups[i];
+    std::sort(g.begin(), g.end());
+    g.erase(std::unique(g.begin(), g.end()), g.end());
+    if (constraints[i] > g.size()) {
+      return Status::InvalidArgument("constraint exceeds group size for group " +
+                                     std::to_string(i));
+    }
+    for (NodeId v : g) {
+      if (v >= num_graph_nodes) {
+        return Status::InvalidArgument("group node out of range");
+      }
+      if (out.node_group_[v] != kNoGroup) {
+        return Status::InvalidArgument("groups must be disjoint; node " +
+                                       std::to_string(v) + " repeated");
+      }
+      out.node_group_[v] = static_cast<uint32_t>(i);
+    }
+    out.total_constraint_ += constraints[i];
+    out.names_.push_back("P" + std::to_string(i));
+  }
+  out.groups_ = std::move(groups);
+  out.constraints_ = std::move(constraints);
+  return out;
+}
+
+Result<GroupSet> GroupSet::FromCategoricalAttr(const Graph& g, LabelId label,
+                                               AttrId attr, size_t num_groups,
+                                               size_t coverage_per_group) {
+  std::map<std::string, NodeSet> buckets;
+  for (NodeId v : g.NodesWithLabel(label)) {
+    const AttrValue* value = g.GetAttr(v, attr);
+    if (value != nullptr && value->is_string()) {
+      buckets[value->as_string()].push_back(v);
+    }
+  }
+  if (buckets.size() < num_groups) {
+    return Status::FailedPrecondition(
+        "attribute has only " + std::to_string(buckets.size()) +
+        " distinct values, need " + std::to_string(num_groups));
+  }
+  // Keep the num_groups most populous values (ties broken by name).
+  std::vector<std::pair<std::string, NodeSet>> sorted(buckets.begin(),
+                                                      buckets.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second.size() != b.second.size()) {
+      return a.second.size() > b.second.size();
+    }
+    return a.first < b.first;
+  });
+  sorted.resize(num_groups);
+
+  std::vector<NodeSet> groups;
+  std::vector<size_t> constraints;
+  std::vector<std::string> names;
+  for (auto& [name, nodes] : sorted) {
+    if (coverage_per_group > nodes.size()) {
+      return Status::FailedPrecondition("group '" + name + "' has " +
+                                        std::to_string(nodes.size()) +
+                                        " nodes, below coverage target " +
+                                        std::to_string(coverage_per_group));
+    }
+    groups.push_back(std::move(nodes));
+    constraints.push_back(coverage_per_group);
+    names.push_back(name);
+  }
+  FAIRSQG_ASSIGN_OR_RETURN(
+      GroupSet out, Create(g.num_nodes(), std::move(groups), std::move(constraints)));
+  for (size_t i = 0; i < names.size(); ++i) out.set_name(i, names[i]);
+  return out;
+}
+
+std::vector<size_t> GroupSet::CoverageCounts(const NodeSet& matches) const {
+  std::vector<size_t> counts(groups_.size(), 0);
+  for (NodeId v : matches) {
+    uint32_t gid = group_of(v);
+    if (gid != kNoGroup) ++counts[gid];
+  }
+  return counts;
+}
+
+}  // namespace fairsqg

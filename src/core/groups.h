@@ -1,0 +1,65 @@
+#ifndef FAIRSQG_CORE_GROUPS_H_
+#define FAIRSQG_CORE_GROUPS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace fairsqg {
+
+/// \brief The paper's `P`: m disjoint node groups, each with a coverage
+/// constraint `c_i` (0 <= c_i <= |P_i|), plus an O(1) node -> group lookup.
+///
+/// Groups model protected/targeted populations (gender groups, movie
+/// genres, paper topics). Coverage is evaluated against the match set
+/// `q(G)` of the output node.
+class GroupSet {
+ public:
+  /// Builds from explicit (sorted or unsorted) node sets and constraints;
+  /// rejects overlapping groups and constraints exceeding group sizes.
+  static Result<GroupSet> Create(size_t num_graph_nodes,
+                                 std::vector<NodeSet> groups,
+                                 std::vector<size_t> constraints);
+
+  /// Groups nodes of `label` by the string value of categorical attribute
+  /// `attr`, keeping the `num_groups` most populous values, with coverage
+  /// target `c` for every group ("Equal opportunity": total C = c * m).
+  static Result<GroupSet> FromCategoricalAttr(const Graph& g, LabelId label,
+                                              AttrId attr, size_t num_groups,
+                                              size_t coverage_per_group);
+
+  size_t num_groups() const { return groups_.size(); }
+  const NodeSet& group(size_t i) const { return groups_[i]; }
+  size_t constraint(size_t i) const { return constraints_[i]; }
+  const std::string& name(size_t i) const { return names_[i]; }
+
+  /// Total coverage target C = sum of c_i.
+  size_t total_constraint() const { return total_constraint_; }
+
+  /// Group of node v, or kNoGroup.
+  static constexpr uint32_t kNoGroup = 0xffffffffu;
+  uint32_t group_of(NodeId v) const {
+    return v < node_group_.size() ? node_group_[v] : kNoGroup;
+  }
+
+  /// Per-group intersection sizes |matches ∩ P_i|; `matches` need not be
+  /// sorted.
+  std::vector<size_t> CoverageCounts(const NodeSet& matches) const;
+
+  void set_name(size_t i, std::string name) { names_[i] = std::move(name); }
+
+ private:
+  std::vector<NodeSet> groups_;
+  std::vector<size_t> constraints_;
+  std::vector<std::string> names_;
+  std::vector<uint32_t> node_group_;
+  size_t total_constraint_ = 0;
+};
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_CORE_GROUPS_H_

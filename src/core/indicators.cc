@@ -1,0 +1,53 @@
+#include "core/indicators.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace fairsqg {
+
+EpsilonIndicatorResult EpsilonIndicator(const std::vector<EvaluatedPtr>& solution,
+                                        const std::vector<EvaluatedPtr>& reference,
+                                        double configured_epsilon) {
+  EpsilonIndicatorResult out;
+  if (reference.empty()) {
+    out.indicator = 1.0;
+    return out;
+  }
+  if (solution.empty()) {
+    out.eps_m = std::numeric_limits<double>::infinity();
+    out.indicator = 0.0;
+    return out;
+  }
+  double eps_m = 0;
+  for (const EvaluatedPtr& x : reference) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const EvaluatedPtr& m : solution) {
+      best = std::min(best, RequiredEpsilon(m->obj, x->obj));
+      if (best == 0) break;
+    }
+    eps_m = std::max(eps_m, best);
+  }
+  out.eps_m = eps_m;
+  out.indicator =
+      std::clamp(1.0 - eps_m / configured_epsilon, 0.0, 1.0);
+  return out;
+}
+
+Objectives MaxObjectives(const std::vector<EvaluatedPtr>& instances) {
+  Objectives best;
+  for (const EvaluatedPtr& e : instances) {
+    best.diversity = std::max(best.diversity, e->obj.diversity);
+    best.coverage = std::max(best.coverage, e->obj.coverage);
+  }
+  return best;
+}
+
+double RIndicator(const std::vector<EvaluatedPtr>& solution, double lambda_r,
+                  double max_diversity, double max_coverage) {
+  Objectives best = MaxObjectives(solution);
+  double d_star = max_diversity > 0 ? best.diversity / max_diversity : 0.0;
+  double f_star = max_coverage > 0 ? best.coverage / max_coverage : 0.0;
+  return (1.0 - lambda_r) * d_star + lambda_r * f_star;
+}
+
+}  // namespace fairsqg

@@ -1,0 +1,45 @@
+#ifndef FAIRSQG_CORE_INDICATORS_H_
+#define FAIRSQG_CORE_INDICATORS_H_
+
+#include <vector>
+
+#include "core/evaluated.h"
+
+namespace fairsqg {
+
+/// Result of the normalized ε-indicator I_ε (Section V, Exp-1).
+struct EpsilonIndicatorResult {
+  /// I_ε = clamp(1 - ε_m/ε, 0, 1); 1 for an exact Pareto set.
+  double indicator = 0;
+  /// The minimum ε_m such that `solution` is an ε_m-Pareto set of the
+  /// reference instances (Zitzler et al.'s additive-free multiplicative
+  /// ε-indicator on the 1-shifted coordinates, matching the library's
+  /// ε-dominance).
+  double eps_m = 0;
+};
+
+/// \brief Computes I_ε of `solution` against the full feasible reference
+/// set (ground truth from enumeration). An empty solution with a non-empty
+/// reference scores 0; an empty reference scores 1.
+EpsilonIndicatorResult EpsilonIndicator(const std::vector<EvaluatedPtr>& solution,
+                                        const std::vector<EvaluatedPtr>& reference,
+                                        double configured_epsilon);
+
+/// \brief R-indicator I_R (Section V): preference-weighted best objectives,
+///   I_R = (1 - λ_R) * δ*/δ_max + λ_R * f*/f_max,
+/// where δ* (f*) is the best diversity (coverage) in `solution` and
+/// δ_max (f_max) normalize against the best over all feasible instances.
+/// λ_R near 1 rewards coverage, near 0 rewards diversity.
+///
+/// (The paper's formula divides the weighted sum by 2, which caps I_R at
+/// 0.5 yet the paper reports values >= 0.63; we drop the division —
+/// DESIGN.md §4.)
+double RIndicator(const std::vector<EvaluatedPtr>& solution, double lambda_r,
+                  double max_diversity, double max_coverage);
+
+/// Max diversity / coverage over a set (normalizers for RIndicator).
+Objectives MaxObjectives(const std::vector<EvaluatedPtr>& instances);
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_CORE_INDICATORS_H_

@@ -1,0 +1,22 @@
+#include "core/kungs.h"
+
+#include "common/timer.h"
+#include "core/enumerate.h"
+
+namespace fairsqg {
+
+Result<QGenResult> Kungs::Run(const QGenConfig& config) {
+  FAIRSQG_RETURN_NOT_OK(config.Validate());
+  Timer timer;
+  QGenResult result;
+  InstanceVerifier verifier(config);
+  FAIRSQG_ASSIGN_OR_RETURN(
+      std::vector<EvaluatedPtr> all,
+      VerifyAllInstances(config, &verifier, &result.stats));
+  result.pareto = ExactParetoSet(FeasibleOnly(all));
+  result.stats.verify_seconds = verifier.verify_seconds();
+  result.stats.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace fairsqg

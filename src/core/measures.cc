@@ -1,0 +1,269 @@
+#include "core/measures.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace fairsqg {
+
+DiversityEvaluator::DiversityEvaluator(const Graph& g, LabelId output_label,
+                                       DiversityConfig config)
+    : g_(&g), label_(output_label), config_(std::move(config)) {
+  const NodeSet& nodes = g.NodesWithLabel(label_);
+  label_size_ = nodes.size();
+  for (NodeId v : nodes) {
+    max_label_degree_ = std::max(max_label_degree_, static_cast<double>(g.degree(v)));
+  }
+
+  // Attribute universe of the label.
+  std::set<AttrId> attr_set;
+  for (NodeId v : nodes) {
+    for (const AttrEntry& e : g.attrs(v)) attr_set.insert(e.attr);
+  }
+  attrs_.assign(attr_set.begin(), attr_set.end());
+  attr_range_.assign(attrs_.size(), 0.0);
+  attr_values_.resize(attrs_.size());
+
+  // Interned categorical values and numeric ranges per attribute.
+  std::vector<std::map<std::string, int32_t>> value_ids(attrs_.size());
+  std::vector<double> min_v(attrs_.size(), std::numeric_limits<double>::infinity());
+  std::vector<double> max_v(attrs_.size(), -std::numeric_limits<double>::infinity());
+
+  node_slot_.assign(g.num_nodes(), -1);
+  fingerprints_.reserve(nodes.size());
+  for (NodeId v : nodes) {
+    Fingerprint fp;
+    fp.numeric.assign(attrs_.size(), std::numeric_limits<double>::quiet_NaN());
+    fp.categorical.assign(attrs_.size(), -1);
+    fp.present.assign(attrs_.size(), false);
+    for (size_t i = 0; i < attrs_.size(); ++i) {
+      const AttrValue* value = g.GetAttr(v, attrs_[i]);
+      if (value == nullptr) continue;
+      fp.present[i] = true;
+      if (value->is_numeric()) {
+        double d = value->ToNumeric();
+        fp.numeric[i] = d;
+        min_v[i] = std::min(min_v[i], d);
+        max_v[i] = std::max(max_v[i], d);
+      } else {
+        auto [it, inserted] = value_ids[i].emplace(
+            value->as_string(), static_cast<int32_t>(attr_values_[i].size()));
+        if (inserted) attr_values_[i].push_back(value->as_string());
+        fp.categorical[i] = it->second;
+      }
+    }
+    node_slot_[v] = static_cast<int32_t>(fingerprints_.size());
+    fingerprints_.push_back(std::move(fp));
+  }
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (max_v[i] > min_v[i]) attr_range_[i] = max_v[i] - min_v[i];
+  }
+
+  // Dense normalized-edit-distance matrices per categorical attribute:
+  // active domains of categorical attributes are small, so the O(k^2)
+  // precomputation removes all string work from the pairwise hot loop.
+  string_dist_.resize(attrs_.size());
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    size_t k = attr_values_[i].size();
+    if (k == 0) continue;
+    string_dist_[i].assign(k * k, 0.0);
+    for (size_t a = 0; a < k; ++a) {
+      for (size_t b = a + 1; b < k; ++b) {
+        double d = NormalizedEditDistance(attr_values_[i][a], attr_values_[i][b]);
+        string_dist_[i][a * k + b] = d;
+        string_dist_[i][b * k + a] = d;
+      }
+    }
+  }
+
+  // Precompute relevance per slot (degree centrality or the custom fn).
+  relevance_.resize(fingerprints_.size());
+  for (NodeId v : nodes) {
+    double r;
+    if (config_.relevance) {
+      r = config_.relevance(g, v);
+    } else {
+      r = max_label_degree_ > 0
+              ? static_cast<double>(g.degree(v)) / max_label_degree_
+              : 0.0;
+    }
+    relevance_[node_slot_[v]] = r;
+  }
+}
+
+double DiversityEvaluator::Relevance(NodeId v) const {
+  int32_t slot = node_slot_[v];
+  FAIRSQG_CHECK(slot >= 0) << "Relevance on non-output-label node";
+  return relevance_[slot];
+}
+
+double DiversityEvaluator::AttrDistance(size_t attr_idx, const Fingerprint& a,
+                                        const Fingerprint& b) const {
+  bool pa = a.present[attr_idx];
+  bool pb = b.present[attr_idx];
+  if (!pa && !pb) return 0.0;
+  if (pa != pb) return 1.0;  // Missing on one side: fully different.
+  bool num_a = !std::isnan(a.numeric[attr_idx]);
+  bool num_b = !std::isnan(b.numeric[attr_idx]);
+  if (num_a != num_b) return 1.0;  // Type mismatch.
+  if (num_a) {
+    if (attr_range_[attr_idx] <= 0) return 0.0;
+    return std::abs(a.numeric[attr_idx] - b.numeric[attr_idx]) /
+           attr_range_[attr_idx];
+  }
+  int32_t ia = a.categorical[attr_idx];
+  int32_t ib = b.categorical[attr_idx];
+  if (ia == ib) return 0.0;
+  size_t k = attr_values_[attr_idx].size();
+  return string_dist_[attr_idx][static_cast<size_t>(ia) * k +
+                                static_cast<size_t>(ib)];
+}
+
+double DiversityEvaluator::Distance(NodeId a, NodeId b) const {
+  if (attrs_.empty()) return 0.0;
+  int32_t sa = node_slot_[a];
+  int32_t sb = node_slot_[b];
+  FAIRSQG_CHECK(sa >= 0 && sb >= 0) << "Distance on non-output-label node";
+  const Fingerprint& fa = fingerprints_[sa];
+  const Fingerprint& fb = fingerprints_[sb];
+  double total = 0;
+  for (size_t i = 0; i < attrs_.size(); ++i) total += AttrDistance(i, fa, fb);
+  return total / static_cast<double>(attrs_.size());
+}
+
+DiversityEvaluator::Parts DiversityEvaluator::ComputeParts(
+    const NodeSet& matches) const {
+  Parts parts;
+  // Resolve fingerprint slots once.
+  std::vector<const Fingerprint*> fps;
+  fps.reserve(matches.size());
+  for (NodeId v : matches) {
+    int32_t slot = node_slot_[v];
+    FAIRSQG_CHECK(slot >= 0) << "match is not an output-label node";
+    parts.relevance_sum += relevance_[slot];
+    fps.push_back(&fingerprints_[slot]);
+  }
+  if (config_.lambda > 0 && !attrs_.empty()) {
+    const size_t na = attrs_.size();
+    for (size_t i = 0; i < fps.size(); ++i) {
+      const Fingerprint& fa = *fps[i];
+      for (size_t j = i + 1; j < fps.size(); ++j) {
+        const Fingerprint& fb = *fps[j];
+        double total = 0;
+        for (size_t a = 0; a < na; ++a) total += AttrDistance(a, fa, fb);
+        parts.pair_sum += total / static_cast<double>(na);
+      }
+    }
+  }
+  return parts;
+}
+
+double DiversityEvaluator::Combine(const Parts& parts) const {
+  double pair_scale =
+      label_size_ > 1 ? 2.0 * config_.lambda / static_cast<double>(label_size_ - 1)
+                      : 0.0;
+  return (1.0 - config_.lambda) * parts.relevance_sum +
+         pair_scale * parts.pair_sum;
+}
+
+double DiversityEvaluator::Diversity(const NodeSet& matches) const {
+  return Combine(ComputeParts(matches));
+}
+
+DiversityEvaluator::Parts DiversityEvaluator::RefineParts(
+    const Parts& parent, const NodeSet& parent_matches,
+    const NodeSet& child_matches) const {
+  NodeSet removed;
+  removed.reserve(parent_matches.size() - child_matches.size());
+  std::set_difference(parent_matches.begin(), parent_matches.end(),
+                      child_matches.begin(), child_matches.end(),
+                      std::back_inserter(removed));
+  // Cheaper to recompute when most of the set went away.
+  if (removed.size() * parent_matches.size() >
+      child_matches.size() * child_matches.size()) {
+    return ComputeParts(child_matches);
+  }
+  Parts parts = parent;
+  const size_t na = attrs_.size();
+  // pair_sum(child) = pair_sum(parent) - sum_{r in removed}
+  //   rowsum_parent(r) + pair_sum(removed): the rowsum subtraction counts
+  //   removed-removed pairs twice, which pair_sum(removed) adds back.
+  for (NodeId r : removed) {
+    parts.relevance_sum -= relevance_[node_slot_[r]];
+    if (config_.lambda <= 0 || na == 0) continue;
+    const Fingerprint& fr = fingerprints_[node_slot_[r]];
+    double rowsum = 0;
+    for (NodeId v : parent_matches) {
+      if (v == r) continue;
+      const Fingerprint& fv = fingerprints_[node_slot_[v]];
+      double total = 0;
+      for (size_t a = 0; a < na; ++a) total += AttrDistance(a, fr, fv);
+      rowsum += total / static_cast<double>(na);
+    }
+    parts.pair_sum -= rowsum;
+  }
+  if (config_.lambda > 0 && na > 0) {
+    parts.pair_sum += ComputeParts(removed).pair_sum;
+  }
+  if (parts.pair_sum < 0) parts.pair_sum = 0;  // Guard numeric drift.
+  if (parts.relevance_sum < 0) parts.relevance_sum = 0;
+  return parts;
+}
+
+DiversityEvaluator::Parts DiversityEvaluator::RelaxParts(
+    const Parts& parent, const NodeSet& parent_matches,
+    const NodeSet& child_matches) const {
+  NodeSet added;
+  added.reserve(child_matches.size() - parent_matches.size());
+  std::set_difference(child_matches.begin(), child_matches.end(),
+                      parent_matches.begin(), parent_matches.end(),
+                      std::back_inserter(added));
+  if (added.size() * child_matches.size() >
+      child_matches.size() * child_matches.size() / 2) {
+    return ComputeParts(child_matches);
+  }
+  Parts parts = parent;
+  const size_t na = attrs_.size();
+  // pair_sum(child) = pair_sum(parent) + sum_{a in added}
+  //   rowsum_child(a) - pair_sum(added) (added-added pairs counted twice).
+  for (NodeId x : added) {
+    parts.relevance_sum += relevance_[node_slot_[x]];
+    if (config_.lambda <= 0 || na == 0) continue;
+    const Fingerprint& fx = fingerprints_[node_slot_[x]];
+    double rowsum = 0;
+    for (NodeId v : child_matches) {
+      if (v == x) continue;
+      const Fingerprint& fv = fingerprints_[node_slot_[v]];
+      double total = 0;
+      for (size_t a = 0; a < na; ++a) total += AttrDistance(a, fx, fv);
+      rowsum += total / static_cast<double>(na);
+    }
+    parts.pair_sum += rowsum;
+  }
+  if (config_.lambda > 0 && na > 0) {
+    parts.pair_sum -= ComputeParts(added).pair_sum;
+  }
+  if (parts.pair_sum < 0) parts.pair_sum = 0;
+  return parts;
+}
+
+CoverageResult CoverageEvaluator::Evaluate(const NodeSet& matches) const {
+  CoverageResult r;
+  r.per_group = groups_->CoverageCounts(matches);
+  r.feasible = true;
+  double error = 0;
+  for (size_t i = 0; i < r.per_group.size(); ++i) {
+    double c = static_cast<double>(groups_->constraint(i));
+    double cov = static_cast<double>(r.per_group[i]);
+    if (cov < c) r.feasible = false;
+    error += std::abs(cov - c);
+  }
+  double c_total = static_cast<double>(groups_->total_constraint());
+  r.value = std::clamp(c_total - error, 0.0, c_total);
+  return r;
+}
+
+}  // namespace fairsqg

@@ -1,0 +1,143 @@
+#ifndef FAIRSQG_CORE_MEASURES_H_
+#define FAIRSQG_CORE_MEASURES_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/groups.h"
+#include "graph/graph.h"
+
+namespace fairsqg {
+
+/// Pluggable relevance score r(u_o, v) in [0, 1] (paper Section III-A; in
+/// practice an entity-linkage or impact score — our default is degree
+/// centrality normalized over the output label's nodes).
+using RelevanceFn = std::function<double(const Graph&, NodeId)>;
+
+/// Parameters of the Max-sum diversity measure.
+struct DiversityConfig {
+  /// Relevance/dissimilarity balance λ in [0, 1].
+  double lambda = 0.5;
+  /// Custom relevance; null selects normalized degree centrality.
+  RelevanceFn relevance;
+};
+
+/// \brief Evaluates the paper's Max-sum diversity
+///   δ(q, G) = (1-λ) Σ_{v∈q(G)} r(u_o, v)
+///           + (2λ / (|V_uo|-1)) Σ_{v<v'∈q(G)} d(v, v')
+/// for match sets over one output label.
+///
+/// The pairwise distance d(v, v') in [0, 1] follows Section V: the
+/// normalized distance of the nodes' matching attributes — per attribute of
+/// the label, numeric values differ by |a-b|/range and categorical values by
+/// the normalized edit distance of their strings (memoized per value pair);
+/// attributes missing on one side count as fully different. Node
+/// fingerprints are precomputed once per evaluator, so a distance
+/// evaluation is O(#attrs).
+class DiversityEvaluator {
+ public:
+  DiversityEvaluator(const Graph& g, LabelId output_label,
+                     DiversityConfig config);
+
+  /// The additive decomposition of δ: δ = (1-λ)·relevance_sum +
+  /// (2λ/(|V_uo|-1))·pair_sum.
+  struct Parts {
+    double relevance_sum = 0;
+    double pair_sum = 0;
+  };
+
+  /// δ(q, G) for the match set `matches` (exact, O(|matches|^2) pairs).
+  double Diversity(const NodeSet& matches) const;
+
+  /// Full decomposition, O(|matches|^2).
+  Parts ComputeParts(const NodeSet& matches) const;
+
+  /// Incremental decomposition for a refined child (child ⊆ parent):
+  /// subtracts the removed nodes' cross terms from the parent's pair sum —
+  /// O(|removed| * |parent| + |removed|^2), falling back to a full
+  /// recomputation when that would be slower. This is incVerify's
+  /// "incrementally update ... the coordinates (δ(q), f(q))".
+  Parts RefineParts(const Parts& parent, const NodeSet& parent_matches,
+                    const NodeSet& child_matches) const;
+
+  /// Incremental decomposition for a relaxed child (child ⊇ parent).
+  Parts RelaxParts(const Parts& parent, const NodeSet& parent_matches,
+                   const NodeSet& child_matches) const;
+
+  /// δ from a decomposition.
+  double Combine(const Parts& parts) const;
+
+  /// Relevance r(u_o, v).
+  double Relevance(NodeId v) const;
+
+  /// Pairwise distance d(a, b) in [0, 1].
+  double Distance(NodeId a, NodeId b) const;
+
+  /// Upper bound of δ over any match set: |V_uo| (paper Section III-A).
+  double MaxDiversity() const { return static_cast<double>(label_size_); }
+
+  LabelId output_label() const { return label_; }
+  double lambda() const { return config_.lambda; }
+
+ private:
+  /// Per-node, per-attribute compact value: numeric value, interned string
+  /// id, or missing.
+  struct Fingerprint {
+    std::vector<double> numeric;   // NaN when not numeric/missing.
+    std::vector<int32_t> categorical;  // -1 when not string/missing.
+    std::vector<bool> present;
+  };
+
+  const Graph* g_;
+  LabelId label_;
+  DiversityConfig config_;
+  size_t label_size_ = 0;
+  double max_label_degree_ = 0;
+
+  std::vector<AttrId> attrs_;            // Attributes of the label, sorted.
+  std::vector<double> attr_range_;       // Numeric value range per attr.
+  std::vector<std::vector<std::string>> attr_values_;  // Interned strings.
+  // Dense normalized-edit-distance matrix per categorical attribute,
+  // indexed [value_a * k + value_b]; precomputed so the pairwise hot loop
+  // never touches strings.
+  std::vector<std::vector<double>> string_dist_;
+
+  std::vector<int32_t> node_slot_;       // NodeId -> fingerprint slot or -1.
+  std::vector<Fingerprint> fingerprints_;
+  std::vector<double> relevance_;        // Per fingerprint slot.
+
+  double AttrDistance(size_t attr_idx, const Fingerprint& a,
+                      const Fingerprint& b) const;
+};
+
+/// Result of evaluating the coverage measure for one instance.
+struct CoverageResult {
+  /// f(q, P) = clamp(C - Σ_i | |q(G) ∩ P_i| - c_i |, 0, C).
+  double value = 0;
+  /// Feasible iff |q(G) ∩ P_i| >= c_i for every group.
+  bool feasible = false;
+  std::vector<size_t> per_group;
+};
+
+/// \brief Evaluates the paper's group-coverage measure f(q, P) (Section
+/// III-A) and the feasibility predicate.
+class CoverageEvaluator {
+ public:
+  explicit CoverageEvaluator(const GroupSet& groups) : groups_(&groups) {}
+
+  CoverageResult Evaluate(const NodeSet& matches) const;
+
+  /// Upper bound of f: C = Σ c_i.
+  double MaxCoverage() const {
+    return static_cast<double>(groups_->total_constraint());
+  }
+
+ private:
+  const GroupSet* groups_;
+};
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_CORE_MEASURES_H_

@@ -1,0 +1,81 @@
+#include "core/parallel_qgen.h"
+
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/enumerate.h"
+#include "core/pareto_archive.h"
+#include "core/verifier.h"
+
+namespace fairsqg {
+
+Result<QGenResult> ParallelQGen::Run(const QGenConfig& config,
+                                     size_t num_threads) {
+  FAIRSQG_RETURN_NOT_OK(config.Validate());
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  Timer timer;
+  QGenResult result;
+
+  // Materialize the instantiation list once; workers take a round-robin
+  // slice each (the verification costs are heterogeneous, so interleaving
+  // balances better than contiguous blocks).
+  InstantiationEnumerator it(*config.tmpl, *config.domains);
+  if (it.SpaceSize() > 1000000) {
+    return Status::FailedPrecondition(
+        "instance space too large to enumerate in parallel");
+  }
+  std::vector<Instantiation> space;
+  space.reserve(it.SpaceSize());
+  Instantiation inst;
+  while (it.Next(&inst)) space.push_back(inst);
+  num_threads = std::min(num_threads, std::max<size_t>(1, space.size()));
+
+  struct WorkerOutput {
+    std::vector<EvaluatedPtr> archive;
+    size_t verified = 0;
+    size_t feasible = 0;
+    double verify_seconds = 0;
+  };
+  std::vector<WorkerOutput> outputs(num_threads);
+
+  auto work = [&](size_t worker) {
+    InstanceVerifier verifier(config);  // Private: owns mutable memo caches.
+    ParetoArchive archive(config.epsilon);
+    WorkerOutput& out = outputs[worker];
+    for (size_t i = worker; i < space.size(); i += num_threads) {
+      EvaluatedPtr e = verifier.Verify(space[i]);
+      ++out.verified;
+      if (e->feasible) {
+        ++out.feasible;
+        archive.Update(std::move(e));
+      }
+    }
+    out.archive = archive.Entries();
+    out.verify_seconds = verifier.verify_seconds();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (size_t w = 0; w < num_threads; ++w) threads.emplace_back(work, w);
+  for (std::thread& t : threads) t.join();
+
+  // Merge the worker archives; box dominance is transitive, so the merged
+  // archive still ε-covers the full space.
+  ParetoArchive merged(config.epsilon);
+  for (WorkerOutput& out : outputs) {
+    for (EvaluatedPtr& e : out.archive) merged.Update(std::move(e));
+    result.stats.verified += out.verified;
+    result.stats.feasible += out.feasible;
+    result.stats.verify_seconds =
+        std::max(result.stats.verify_seconds, out.verify_seconds);
+  }
+  result.stats.generated = space.size();
+  result.pareto = merged.SortedEntries();
+  result.stats.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace fairsqg

@@ -1,0 +1,31 @@
+#ifndef FAIRSQG_CORE_PARALLEL_QGEN_H_
+#define FAIRSQG_CORE_PARALLEL_QGEN_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "core/config.h"
+#include "core/qgen_result.h"
+
+namespace fairsqg {
+
+/// \brief ParallelQGen — the paper's future-work topic ("parallel query
+/// generation over large graphs with diversity and group fairness",
+/// Section VI), realized as a data-parallel EnumQGen.
+///
+/// The instance space I(Q) is partitioned round-robin across worker
+/// threads; each worker verifies its share with a private InstanceVerifier
+/// (the graph is shared read-only) into a private ε-Pareto archive. The
+/// per-worker archives are then merged through procedure Update. Merging is
+/// sound: each worker's archive box-dominates everything the worker saw,
+/// and Update preserves box dominance transitively, so the merged archive
+/// is an ε-Pareto set of the full space — the same guarantee as EnumQGen.
+class ParallelQGen {
+ public:
+  /// `num_threads` 0 selects the hardware concurrency.
+  static Result<QGenResult> Run(const QGenConfig& config, size_t num_threads = 0);
+};
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_CORE_PARALLEL_QGEN_H_

@@ -1,0 +1,84 @@
+#ifndef FAIRSQG_CORE_PARETO_ARCHIVE_H_
+#define FAIRSQG_CORE_PARETO_ARCHIVE_H_
+
+#include <vector>
+
+#include "core/evaluated.h"
+
+namespace fairsqg {
+
+/// Which case of procedure Update (Fig. 5) an instance triggered.
+enum class UpdateOutcome {
+  /// Case 1: the instance's box dominates existing boxes; they were evicted.
+  kReplacedBoxes,
+  /// Case 2: same box as an existing member and dominates it; swapped in.
+  kReplacedInstance,
+  /// Case 2: same box as an existing member that is at least as good; dropped.
+  kRejectedSameBox,
+  /// Case 3: a new non-dominated box; added.
+  kAddedNewBox,
+  /// An existing member's box dominates the instance's box; dropped.
+  kRejectedDominated,
+};
+
+/// True if the outcome left the instance in the archive.
+inline bool Accepted(UpdateOutcome outcome) {
+  return outcome == UpdateOutcome::kReplacedBoxes ||
+         outcome == UpdateOutcome::kReplacedInstance ||
+         outcome == UpdateOutcome::kAddedNewBox;
+}
+
+/// \brief The ε-Pareto archive maintained by procedure Update (Section IV,
+/// Fig. 5), extending Laumanns et al.'s box archiving.
+///
+/// The bi-objective space is discretized into boxes of the log-scale boxing
+/// coordinates; the archive keeps exactly one representative instance per
+/// non-dominated box. Invariant (provable, and asserted by the property
+/// tests): for every instance ever offered to Update there is a current
+/// member whose box dominates-or-equals its box — hence a member that
+/// ε-dominates it — and the member count is bounded by the number of boxes
+/// along an antichain, ≤ log(1+max δ)/log(1+ε) + log(1+C)/log(1+ε).
+class ParetoArchive {
+ public:
+  explicit ParetoArchive(double epsilon);
+
+  /// Applies procedure Update for a feasible instance.
+  UpdateOutcome Update(EvaluatedPtr q);
+
+  /// Dry-run: which case Update *would* take, without modifying anything.
+  UpdateOutcome Classify(const EvaluatedInstance& q) const;
+
+  /// Current members (box representatives), unordered.
+  std::vector<EvaluatedPtr> Entries() const;
+
+  /// Members sorted by descending diversity (ties: ascending coverage).
+  std::vector<EvaluatedPtr> SortedEntries() const;
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  double epsilon() const { return epsilon_; }
+
+  /// Raises ε (OnlineQGen line 16) and re-boxes all members; members whose
+  /// coarsened boxes now collide or dominate are merged, keeping per-box
+  /// dominant representatives. ε may only grow (Lemma 4).
+  void SetEpsilon(double epsilon);
+
+  /// Removes a specific member (OnlineQGen replacement); no-op if absent.
+  void Remove(const EvaluatedPtr& q);
+
+  /// Best (max) diversity and coverage among members; zeros when empty.
+  Objectives BestObjectives() const;
+
+ private:
+  struct Entry {
+    EvaluatedPtr instance;
+    BoxCoord box;
+  };
+
+  double epsilon_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_CORE_PARETO_ARCHIVE_H_

@@ -1,0 +1,30 @@
+#ifndef FAIRSQG_CORE_QGEN_RESULT_H_
+#define FAIRSQG_CORE_QGEN_RESULT_H_
+
+#include <vector>
+
+#include "core/evaluated.h"
+#include "core/stats.h"
+
+namespace fairsqg {
+
+/// One point of an anytime-quality trace: the state of the maintained
+/// ε-Pareto set after `verified` instances had been verified.
+struct AnytimePoint {
+  size_t verified = 0;
+  Objectives best;        // Max diversity / coverage in the archive.
+  size_t archive_size = 0;
+};
+
+/// Outcome of a query-generation run.
+struct QGenResult {
+  /// The ε-Pareto instance set (exact Pareto set for Kungs).
+  std::vector<EvaluatedPtr> pareto;
+  GenStats stats;
+  /// Present when QGenConfig::record_trace was set.
+  std::vector<AnytimePoint> trace;
+};
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_CORE_QGEN_RESULT_H_

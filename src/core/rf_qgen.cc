@@ -1,0 +1,115 @@
+#include "core/rf_qgen.h"
+
+#include <unordered_set>
+
+#include "common/timer.h"
+#include "core/enumerate.h"
+#include "core/pareto_archive.h"
+#include "core/template_refiner.h"
+#include "core/verifier.h"
+
+namespace fairsqg {
+
+namespace {
+
+/// True when the archive already ε-dominates every instance a subtree
+/// rooted at a parent with diversity `max_diversity` can produce (children
+/// only lose diversity, and coverage never exceeds C).
+///
+/// The check is at box level: a member whose box dominates-or-equals the
+/// bound's box keeps covering the subtree across later archive
+/// replacements (replacements preserve box dominance), whereas a raw
+/// value-level ε-dominance check would degrade to 2ε under replacement.
+bool SubtreeCovered(const ParetoArchive& archive, double max_diversity,
+                    double max_coverage, double epsilon) {
+  BoxCoord bound = BoxOf({max_diversity, max_coverage}, epsilon);
+  for (const EvaluatedPtr& m : archive.Entries()) {
+    if (BoxDominatesOrEqual(BoxOf(m->obj, epsilon), bound)) return true;
+  }
+  return false;
+}
+
+struct Explorer {
+  const QGenConfig& config;
+  InstanceVerifier verifier;
+  ParetoArchive archive;
+  std::unordered_set<Instantiation, Instantiation::Hasher> visited;
+  QGenResult* result;
+  double max_coverage;
+
+  Explorer(const QGenConfig& cfg, QGenResult* res)
+      : config(cfg),
+        verifier(cfg),
+        archive(cfg.epsilon),
+        result(res),
+        max_coverage(static_cast<double>(cfg.groups->total_constraint())) {}
+
+  bool Budget() const {
+    return config.max_verifications == 0 ||
+           result->stats.verified < config.max_verifications;
+  }
+
+  /// Procedure BFExplore (Fig. 3). `parent` is null at the lattice root.
+  void Explore(const Instantiation& inst, const EvaluatedPtr& parent_eval,
+               const CandidateSpace* parent_cands, uint32_t changed_var) {
+    if (!Budget()) return;
+    if (!visited.insert(inst).second) {
+      ++result->stats.pruned;  // Reached via another lattice path already.
+      return;
+    }
+
+    CandidateSpace cands;
+    EvaluatedPtr eval;
+    if (parent_eval != nullptr && config.use_incremental_verify) {
+      eval = verifier.VerifyRefined(inst, *parent_cands, *parent_eval,
+                                    changed_var, &cands);
+    } else {
+      eval = verifier.Verify(inst, &cands);
+    }
+    ++result->stats.verified;
+    if (!eval->feasible) return;  // Backtrack: the whole subtree is infeasible.
+    ++result->stats.feasible;
+
+    archive.Update(eval);
+    if (config.record_trace) {
+      result->trace.push_back(
+          {result->stats.verified, archive.BestObjectives(), archive.size()});
+    }
+
+    if (config.use_subtree_pruning &&
+        SubtreeCovered(archive, eval->obj.diversity, max_coverage,
+                       config.epsilon)) {
+      return;  // Every refinement of `inst` is already ε-dominated.
+    }
+
+    RefinementHints hints =
+        config.use_template_refinement
+            ? ComputeRefinementHints(*config.graph, *config.tmpl, *config.domains,
+                                     eval->matches)
+            : RefinementHints::None(*config.tmpl);
+    std::vector<LatticeStep> children = LatticeNeighbors::RefineChildren(
+        *config.tmpl, *config.domains, inst, hints);
+    result->stats.generated += children.size();
+    for (LatticeStep& child : children) {
+      Explore(child.inst, eval, &cands, child.var_index);
+    }
+  }
+};
+
+}  // namespace
+
+Result<QGenResult> RfQGen::Run(const QGenConfig& config) {
+  FAIRSQG_RETURN_NOT_OK(config.Validate());
+  Timer timer;
+  QGenResult result;
+  Explorer explorer(config, &result);
+  Instantiation root = Instantiation::MostRelaxed(*config.tmpl);
+  ++result.stats.generated;
+  explorer.Explore(root, nullptr, nullptr, 0);
+  result.pareto = explorer.archive.SortedEntries();
+  result.stats.verify_seconds = explorer.verifier.verify_seconds();
+  result.stats.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace fairsqg

@@ -1,0 +1,32 @@
+#ifndef FAIRSQG_CORE_STATS_H_
+#define FAIRSQG_CORE_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace fairsqg {
+
+/// Counters reported by every query-generation algorithm; the pruning
+/// percentages of Section V (RfQGen ~40%, BiQGen ~60% fewer instances than
+/// EnumQGen) are computed from `verified` across algorithms.
+struct GenStats {
+  size_t generated = 0;  ///< Instances spawned or enumerated.
+  size_t verified = 0;   ///< Instances actually matched and measured.
+  size_t pruned = 0;     ///< Spawned instances skipped by pruning.
+  size_t feasible = 0;   ///< Verified instances meeting all constraints.
+  double total_seconds = 0;
+  double verify_seconds = 0;
+
+  std::string ToString() const {
+    return "generated=" + std::to_string(generated) +
+           " verified=" + std::to_string(verified) +
+           " pruned=" + std::to_string(pruned) +
+           " feasible=" + std::to_string(feasible) +
+           " total_s=" + std::to_string(total_seconds) +
+           " verify_s=" + std::to_string(verify_seconds);
+  }
+};
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_CORE_STATS_H_

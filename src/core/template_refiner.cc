@@ -1,0 +1,57 @@
+#include "core/template_refiner.h"
+
+#include <set>
+
+#include "graph/neighborhood.h"
+
+namespace fairsqg {
+
+RefinementHints ComputeRefinementHints(const Graph& g, const QueryTemplate& tmpl,
+                                       const VariableDomains& domains,
+                                       const NodeSet& matches) {
+  RefinementHints hints = RefinementHints::None(tmpl);
+  std::vector<bool> mask = DHopMask(g, matches, tmpl.Diameter());
+
+  // Range variables: keep only domain values occurring in G_q^d on nodes
+  // with the literal node's label.
+  for (RangeVarId x = 0; x < tmpl.num_range_vars(); ++x) {
+    const LiteralTemplate& l = tmpl.literals()[tmpl.literal_of_var(x)];
+    LabelId label = tmpl.node_label(l.node);
+    std::set<AttrValue> occurring;
+    for (NodeId v : g.NodesWithLabel(label)) {
+      if (!mask[v]) continue;
+      const AttrValue* value = g.GetAttr(v, l.attr);
+      if (value != nullptr) occurring.insert(*value);
+    }
+    hints.restrict_range[x] = true;
+    auto& allowed = hints.allowed_range_indexes[x];
+    for (size_t i = 0; i < domains.size(x); ++i) {
+      if (occurring.count(domains.value(x, i)) > 0) {
+        allowed.push_back(static_cast<int32_t>(i));
+      }
+    }
+  }
+
+  // Edge variables: pin to 0 when no label-compatible edge exists in G_q^d.
+  for (EdgeVarId x = 0; x < tmpl.num_edge_vars(); ++x) {
+    const QueryEdge& e = tmpl.edge(tmpl.edge_of_var(x));
+    LabelId from_label = tmpl.node_label(e.from);
+    LabelId to_label = tmpl.node_label(e.to);
+    bool exists = false;
+    for (NodeId v : g.NodesWithLabel(from_label)) {
+      if (!mask[v]) continue;
+      for (const AdjEntry& adj : g.OutEdges(v)) {
+        if (adj.edge_label == e.label && mask[adj.neighbor] &&
+            g.node_label(adj.neighbor) == to_label) {
+          exists = true;
+          break;
+        }
+      }
+      if (exists) break;
+    }
+    hints.edge_fixed_zero[x] = !exists;
+  }
+  return hints;
+}
+
+}  // namespace fairsqg

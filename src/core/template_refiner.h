@@ -1,0 +1,25 @@
+#ifndef FAIRSQG_CORE_TEMPLATE_REFINER_H_
+#define FAIRSQG_CORE_TEMPLATE_REFINER_H_
+
+#include "graph/graph.h"
+#include "query/refinement.h"
+
+namespace fairsqg {
+
+/// \brief Spawn's template refinement (Section IV-A).
+///
+/// Given a verified instance's match set q(G), considers the subgraph
+/// `G_q^d` induced by the d-hop neighbours of q(G) (d = template diameter)
+/// and derives hints that shrink the spawn frontier:
+///  1. each range variable on a literal `u.A op x` may only take values of
+///     A that actually occur on nodes of u's label inside G_q^d — other
+///     thresholds cannot change the match set differently;
+///  2. an edge variable is pinned to 0 when G_q^d contains no edge with the
+///     required label between nodes of the endpoint labels.
+RefinementHints ComputeRefinementHints(const Graph& g, const QueryTemplate& tmpl,
+                                       const VariableDomains& domains,
+                                       const NodeSet& matches);
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_CORE_TEMPLATE_REFINER_H_

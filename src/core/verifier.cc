@@ -1,0 +1,102 @@
+#include "core/verifier.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace fairsqg {
+
+InstanceVerifier::InstanceVerifier(const QGenConfig& config)
+    : config_(&config),
+      matcher_(*config.graph, config.semantics),
+      diversity_(*config.graph, config.tmpl->node_label(config.tmpl->output_node()),
+                 config.diversity),
+      coverage_(*config.groups) {}
+
+EvaluatedPtr InstanceVerifier::FinishWithParts(const Instantiation& inst,
+                                               NodeSet matches,
+                                               DiversityEvaluator::Parts parts) {
+  auto out = std::make_shared<EvaluatedInstance>();
+  out->inst = inst;
+  out->relevance_sum = parts.relevance_sum;
+  out->pair_sum = parts.pair_sum;
+  out->obj.diversity = diversity_.Combine(parts);
+  CoverageResult cov = coverage_.Evaluate(matches);
+  out->obj.coverage = cov.value;
+  out->feasible = cov.feasible;
+  out->group_coverage = std::move(cov.per_group);
+  out->matches = std::move(matches);
+  out->verify_seq = verify_seq_++;
+  return out;
+}
+
+EvaluatedPtr InstanceVerifier::Finish(const Instantiation& inst, NodeSet matches) {
+  DiversityEvaluator::Parts parts = diversity_.ComputeParts(matches);
+  return FinishWithParts(inst, std::move(matches), parts);
+}
+
+EvaluatedPtr InstanceVerifier::Verify(const Instantiation& inst,
+                                      CandidateSpace* out_candidates) {
+  Timer timer;
+  QueryInstance q =
+      QueryInstance::Materialize(*config_->tmpl, *config_->domains, inst);
+  CandidateSpace candidates = CandidateSpace::Build(
+      *config_->graph, q,
+      /*degree_filter=*/config_->semantics == MatchSemantics::kIsomorphism);
+  NodeSet matches = matcher_.MatchOutput(q, candidates);
+  if (out_candidates != nullptr) *out_candidates = std::move(candidates);
+  EvaluatedPtr out = Finish(inst, std::move(matches));
+  verify_seconds_ += timer.ElapsedSeconds();
+  return out;
+}
+
+EvaluatedPtr InstanceVerifier::VerifyRefined(const Instantiation& inst,
+                                             const CandidateSpace& parent_candidates,
+                                             const EvaluatedInstance& parent,
+                                             uint32_t changed_var,
+                                             CandidateSpace* out_candidates) {
+  if (!config_->use_incremental_verify) return Verify(inst, out_candidates);
+  Timer timer;
+  QueryInstance q =
+      QueryInstance::Materialize(*config_->tmpl, *config_->domains, inst);
+  CandidateSpace candidates = CandidateSpace::DeriveRefined(
+      *config_->graph, q, parent_candidates, changed_var);
+  // Lemma 2: q(G) ⊆ parent's match set; test only the parent's matches.
+  NodeSet matches = matcher_.MatchOutput(q, candidates, &parent.matches);
+  if (out_candidates != nullptr) *out_candidates = std::move(candidates);
+  DiversityEvaluator::Parts parts = diversity_.RefineParts(
+      {parent.relevance_sum, parent.pair_sum}, parent.matches, matches);
+  EvaluatedPtr out = FinishWithParts(inst, std::move(matches), parts);
+  verify_seconds_ += timer.ElapsedSeconds();
+  return out;
+}
+
+EvaluatedPtr InstanceVerifier::VerifyRelaxed(const Instantiation& inst,
+                                             const EvaluatedInstance& parent,
+                                             CandidateSpace* out_candidates) {
+  if (!config_->use_incremental_verify) return Verify(inst, out_candidates);
+  Timer timer;
+  QueryInstance q =
+      QueryInstance::Materialize(*config_->tmpl, *config_->domains, inst);
+  CandidateSpace candidates = CandidateSpace::Build(*config_->graph, q);
+  // Lemma 2 in reverse: every parent match remains a match after
+  // relaxation; only output candidates outside it need testing.
+  const NodeSet& base = candidates.of(q.output_node());
+  NodeSet untested;
+  untested.reserve(base.size());
+  std::set_difference(base.begin(), base.end(), parent.matches.begin(),
+                      parent.matches.end(), std::back_inserter(untested));
+  NodeSet fresh = matcher_.MatchOutput(q, candidates, &untested);
+  NodeSet matches;
+  matches.reserve(fresh.size() + parent.matches.size());
+  std::set_union(fresh.begin(), fresh.end(), parent.matches.begin(),
+                 parent.matches.end(), std::back_inserter(matches));
+  if (out_candidates != nullptr) *out_candidates = std::move(candidates);
+  DiversityEvaluator::Parts parts = diversity_.RelaxParts(
+      {parent.relevance_sum, parent.pair_sum}, parent.matches, matches);
+  EvaluatedPtr out = FinishWithParts(inst, std::move(matches), parts);
+  verify_seconds_ += timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace fairsqg

@@ -1,0 +1,66 @@
+#ifndef FAIRSQG_CORE_VERIFIER_H_
+#define FAIRSQG_CORE_VERIFIER_H_
+
+#include <cstdint>
+
+#include "core/config.h"
+#include "core/evaluated.h"
+#include "matching/subgraph_matcher.h"
+
+namespace fairsqg {
+
+/// \brief The verification pipeline shared by all algorithms: materialize
+/// an instantiation, compute q(G), evaluate (δ, f), and decide feasibility.
+///
+/// Implements the paper's incVerify (Section IV-A): a lattice child's match
+/// set is derived from its parent's by exploiting Lemma 2 — a refinement's
+/// matches are a subset of the parent's (only exclusions need testing), and
+/// a relaxation's matches are a superset (only additions need testing).
+class InstanceVerifier {
+ public:
+  explicit InstanceVerifier(const QGenConfig& config);
+
+  /// Full verification from scratch. If `out_candidates` is non-null, the
+  /// instance's candidate space is returned for incremental children.
+  EvaluatedPtr Verify(const Instantiation& inst,
+                      CandidateSpace* out_candidates = nullptr);
+
+  /// Verification of a child that refines its parent at `changed_var`
+  /// (lattice encoding: range variables first). The parent's match set
+  /// bounds the search and its diversity decomposition seeds the child's
+  /// incremental coordinate update. Falls back to Verify when
+  /// config.use_incremental_verify is off.
+  EvaluatedPtr VerifyRefined(const Instantiation& inst,
+                             const CandidateSpace& parent_candidates,
+                             const EvaluatedInstance& parent, uint32_t changed_var,
+                             CandidateSpace* out_candidates = nullptr);
+
+  /// Verification of a child that relaxes its parent: the parent's matches
+  /// are known matches; only the remaining output candidates are tested.
+  EvaluatedPtr VerifyRelaxed(const Instantiation& inst,
+                             const EvaluatedInstance& parent,
+                             CandidateSpace* out_candidates = nullptr);
+
+  uint64_t num_verified() const { return verify_seq_; }
+  double verify_seconds() const { return verify_seconds_; }
+
+  const DiversityEvaluator& diversity() const { return diversity_; }
+  const CoverageEvaluator& coverage() const { return coverage_; }
+  const MatchStats& match_stats() const { return matcher_.stats(); }
+
+ private:
+  EvaluatedPtr Finish(const Instantiation& inst, NodeSet matches);
+  EvaluatedPtr FinishWithParts(const Instantiation& inst, NodeSet matches,
+                               DiversityEvaluator::Parts parts);
+
+  const QGenConfig* config_;
+  SubgraphMatcher matcher_;
+  DiversityEvaluator diversity_;
+  CoverageEvaluator coverage_;
+  uint64_t verify_seq_ = 0;
+  double verify_seconds_ = 0;
+};
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_CORE_VERIFIER_H_

@@ -1,0 +1,100 @@
+#include "graph/attr_value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "common/hash.h"
+
+namespace fairsqg {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kLt:
+      return "<";
+  }
+  return "?";
+}
+
+double AttrValue::ToNumeric() const {
+  if (is_int()) return static_cast<double>(as_int());
+  if (is_double()) return as_double();
+  return 0.0;
+}
+
+std::string AttrValue::ToString() const {
+  if (is_int()) return std::to_string(as_int());
+  if (is_double()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", as_double());
+    return buf;
+  }
+  return as_string();
+}
+
+namespace {
+int CompareThreeWay(double a, double b) { return a < b ? -1 : (a > b ? 1 : 0); }
+}  // namespace
+
+bool AttrValue::Compare(CompareOp op, const AttrValue& rhs) const {
+  int cmp = 0;
+  if (is_string() && rhs.is_string()) {
+    cmp = as_string().compare(rhs.as_string());
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  } else if (is_numeric() && rhs.is_numeric()) {
+    cmp = CompareThreeWay(ToNumeric(), rhs.ToNumeric());
+  } else {
+    // Mixed string/numeric: no predicate over incompatible types matches.
+    return false;
+  }
+  switch (op) {
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+  }
+  return false;
+}
+
+bool AttrValue::operator<(const AttrValue& rhs) const {
+  if (is_numeric() != rhs.is_numeric()) return is_numeric();
+  if (is_numeric()) return ToNumeric() < rhs.ToNumeric();
+  return as_string() < rhs.as_string();
+}
+
+bool AttrValue::operator==(const AttrValue& rhs) const {
+  if (is_string() != rhs.is_string()) return false;
+  if (is_string()) return as_string() == rhs.as_string();
+  return ToNumeric() == rhs.ToNumeric();
+}
+
+uint64_t AttrValue::Hash() const {
+  if (is_string()) {
+    return std::hash<std::string>{}(as_string()) | 0x8000000000000000ULL;
+  }
+  double d = ToNumeric();
+  // Int-valued doubles hash like the corresponding int64.
+  if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+    return Mix64(static_cast<uint64_t>(static_cast<int64_t>(d)));
+  }
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return Mix64(bits);
+}
+
+}  // namespace fairsqg

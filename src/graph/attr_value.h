@@ -1,0 +1,68 @@
+#ifndef FAIRSQG_GRAPH_ATTR_VALUE_H_
+#define FAIRSQG_GRAPH_ATTR_VALUE_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace fairsqg {
+
+/// Comparison operator of a search predicate, from the paper's literal form
+/// `u.A op x` with op in {>, >=, =, <=, <}.
+enum class CompareOp { kGt, kGe, kEq, kLe, kLt };
+
+/// Short symbol (">", ">=", "=", "<=", "<").
+const char* CompareOpToString(CompareOp op);
+
+/// \brief A typed attribute value: integer, real, or string.
+///
+/// Numeric values of either type compare with each other; strings compare
+/// only with strings (lexicographically). This mirrors attributed property
+/// graphs such as DBpedia where a node tuple mixes numeric and categorical
+/// fields.
+class AttrValue {
+ public:
+  AttrValue() : value_(int64_t{0}) {}
+  explicit AttrValue(int64_t v) : value_(v) {}
+  explicit AttrValue(double v) : value_(v) {}
+  explicit AttrValue(std::string v) : value_(std::move(v)) {}
+
+  bool is_int() const { return std::holds_alternative<int64_t>(value_); }
+  bool is_double() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_numeric() const { return !is_string(); }
+
+  int64_t as_int() const { return std::get<int64_t>(value_); }
+  double as_double() const { return std::get<double>(value_); }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+
+  /// Numeric view of an int or double value; 0.0 for strings.
+  double ToNumeric() const;
+
+  /// Round-trippable text form ("42", "3.5", "\"action\"" without quotes).
+  std::string ToString() const;
+
+  /// \brief Evaluates `*this op rhs`.
+  ///
+  /// Numeric vs numeric uses numeric order; string vs string uses
+  /// lexicographic order; mixed numeric/string comparisons are false for
+  /// every op (a predicate over a missing/incompatible type never matches).
+  bool Compare(CompareOp op, const AttrValue& rhs) const;
+
+  /// Total order used to sort active domains: numerics first (by value),
+  /// then strings (lexicographic).
+  bool operator<(const AttrValue& rhs) const;
+  bool operator==(const AttrValue& rhs) const;
+  bool operator!=(const AttrValue& rhs) const { return !(*this == rhs); }
+
+  /// Stable 64-bit hash.
+  uint64_t Hash() const;
+
+ private:
+  std::variant<int64_t, double, std::string> value_;
+};
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_GRAPH_ATTR_VALUE_H_

@@ -1,0 +1,159 @@
+#include "graph/csv_loader.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+#include "graph/graph_builder.h"
+
+namespace fairsqg {
+
+namespace {
+
+enum class ColumnType { kInt, kDouble, kString };
+
+struct AttrColumn {
+  std::string name;
+  ColumnType type;
+};
+
+Result<std::vector<AttrColumn>> ParseNodeHeader(std::string_view header) {
+  std::vector<std::string_view> cols = SplitString(header, ',');
+  if (cols.size() < 2 || StripWhitespace(cols[0]) != "id" ||
+      StripWhitespace(cols[1]) != "label") {
+    return Status::InvalidArgument(
+        "node header must start with 'id,label': '" + std::string(header) + "'");
+  }
+  std::vector<AttrColumn> out;
+  for (size_t i = 2; i < cols.size(); ++i) {
+    std::string_view col = StripWhitespace(cols[i]);
+    size_t colon = col.rfind(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("attribute column needs a :type suffix: '" +
+                                     std::string(col) + "'");
+    }
+    std::string_view type = col.substr(colon + 1);
+    AttrColumn ac;
+    ac.name = std::string(col.substr(0, colon));
+    if (type == "int") {
+      ac.type = ColumnType::kInt;
+    } else if (type == "double") {
+      ac.type = ColumnType::kDouble;
+    } else if (type == "string") {
+      ac.type = ColumnType::kString;
+    } else {
+      return Status::InvalidArgument("unknown column type '" + std::string(type) +
+                                     "'");
+    }
+    if (ac.name.empty()) {
+      return Status::InvalidArgument("empty attribute column name");
+    }
+    out.push_back(std::move(ac));
+  }
+  return out;
+}
+
+Result<AttrValue> ParseCell(std::string_view cell, ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt: {
+      FAIRSQG_ASSIGN_OR_RETURN(int64_t v, ParseInt64(cell));
+      return AttrValue(v);
+    }
+    case ColumnType::kDouble: {
+      FAIRSQG_ASSIGN_OR_RETURN(double v, ParseDouble(cell));
+      return AttrValue(v);
+    }
+    case ColumnType::kString:
+      return AttrValue(std::string(cell));
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Result<Graph> LoadCsvGraph(std::istream& nodes, std::istream& edges,
+                           std::shared_ptr<Schema> schema,
+                           std::unordered_map<std::string, NodeId>* id_map) {
+  if (schema == nullptr) schema = std::make_shared<Schema>();
+  GraphBuilder builder(std::move(schema));
+  std::unordered_map<std::string, NodeId> ids;
+
+  std::string line;
+  if (!std::getline(nodes, line)) {
+    return Status::InvalidArgument("node CSV is empty");
+  }
+  FAIRSQG_ASSIGN_OR_RETURN(std::vector<AttrColumn> columns,
+                           ParseNodeHeader(StripWhitespace(line)));
+  size_t line_no = 1;
+  while (std::getline(nodes, line)) {
+    ++line_no;
+    std::string_view text = StripWhitespace(line);
+    if (text.empty() || text[0] == '#') continue;
+    std::vector<std::string_view> cells = SplitString(text, ',');
+    if (cells.size() != columns.size() + 2) {
+      return Status::InvalidArgument("node line " + std::to_string(line_no) +
+                                     ": expected " +
+                                     std::to_string(columns.size() + 2) +
+                                     " cells, got " + std::to_string(cells.size()));
+    }
+    std::string id(StripWhitespace(cells[0]));
+    if (id.empty()) {
+      return Status::InvalidArgument("node line " + std::to_string(line_no) +
+                                     ": empty id");
+    }
+    if (ids.count(id) > 0) {
+      return Status::InvalidArgument("node line " + std::to_string(line_no) +
+                                     ": duplicate id '" + id + "'");
+    }
+    NodeId v = builder.AddNode(StripWhitespace(cells[1]));
+    ids.emplace(std::move(id), v);
+    for (size_t i = 0; i < columns.size(); ++i) {
+      std::string_view cell = StripWhitespace(cells[i + 2]);
+      if (cell.empty()) continue;  // Absent attribute.
+      FAIRSQG_ASSIGN_OR_RETURN(AttrValue value, ParseCell(cell, columns[i].type));
+      builder.SetAttr(v, columns[i].name, std::move(value));
+    }
+  }
+
+  if (!std::getline(edges, line)) {
+    return Status::InvalidArgument("edge CSV is empty");
+  }
+  if (StripWhitespace(line) != "from,to,label") {
+    return Status::InvalidArgument("edge header must be 'from,to,label'");
+  }
+  line_no = 1;
+  while (std::getline(edges, line)) {
+    ++line_no;
+    std::string_view text = StripWhitespace(line);
+    if (text.empty() || text[0] == '#') continue;
+    std::vector<std::string_view> cells = SplitString(text, ',');
+    if (cells.size() != 3) {
+      return Status::InvalidArgument("edge line " + std::to_string(line_no) +
+                                     ": expected 3 cells");
+    }
+    auto from = ids.find(std::string(StripWhitespace(cells[0])));
+    auto to = ids.find(std::string(StripWhitespace(cells[1])));
+    if (from == ids.end() || to == ids.end()) {
+      return Status::InvalidArgument("edge line " + std::to_string(line_no) +
+                                     ": unknown endpoint id");
+    }
+    builder.AddEdge(from->second, to->second, StripWhitespace(cells[2]));
+  }
+
+  if (id_map != nullptr) *id_map = std::move(ids);
+  return std::move(builder).Build();
+}
+
+Result<Graph> LoadCsvGraphFiles(const std::string& nodes_path,
+                                const std::string& edges_path,
+                                std::shared_ptr<Schema> schema,
+                                std::unordered_map<std::string, NodeId>* id_map) {
+  std::ifstream nodes(nodes_path);
+  if (!nodes) return Status::IoError("cannot open " + nodes_path);
+  std::ifstream edges(edges_path);
+  if (!edges) return Status::IoError("cannot open " + edges_path);
+  return LoadCsvGraph(nodes, edges, std::move(schema), id_map);
+}
+
+}  // namespace fairsqg

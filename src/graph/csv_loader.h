@@ -1,0 +1,44 @@
+#ifndef FAIRSQG_GRAPH_CSV_LOADER_H_
+#define FAIRSQG_GRAPH_CSV_LOADER_H_
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace fairsqg {
+
+/// \brief Loads an attributed graph from a node CSV and an edge CSV, the
+/// common interchange format of public property graphs.
+///
+/// Node file header: `id,label,<attr>:<type>,...` with type one of
+/// `int`, `double`, `string`; empty cells mean "attribute absent".
+/// \code
+///   id,label,yearsOfExp:int,major:string
+///   u1,user,12,physics
+///   o1,org,,
+/// \endcode
+/// Edge file header must be `from,to,label`:
+/// \code
+///   from,to,label
+///   u1,o1,worksAt
+/// \endcode
+/// External string ids are mapped to dense NodeIds in file order; the
+/// mapping is returned through `id_map` when non-null.
+Result<Graph> LoadCsvGraph(std::istream& nodes, std::istream& edges,
+                           std::shared_ptr<Schema> schema = nullptr,
+                           std::unordered_map<std::string, NodeId>* id_map =
+                               nullptr);
+
+/// File-path convenience wrapper.
+Result<Graph> LoadCsvGraphFiles(const std::string& nodes_path,
+                                const std::string& edges_path,
+                                std::shared_ptr<Schema> schema = nullptr,
+                                std::unordered_map<std::string, NodeId>*
+                                    id_map = nullptr);
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_GRAPH_CSV_LOADER_H_

@@ -1,0 +1,43 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace fairsqg {
+
+const AttrValue* Graph::GetAttr(NodeId v, AttrId a) const {
+  auto tuple = attrs(v);
+  auto it = std::lower_bound(
+      tuple.begin(), tuple.end(), a,
+      [](const AttrEntry& e, AttrId key) { return e.attr < key; });
+  if (it != tuple.end() && it->attr == a) return &it->value;
+  return nullptr;
+}
+
+bool Graph::HasEdge(NodeId from, NodeId to, LabelId edge_label) const {
+  auto adj = OutEdges(from);
+  auto it = std::lower_bound(
+      adj.begin(), adj.end(), std::make_pair(to, edge_label),
+      [](const AdjEntry& e, const std::pair<NodeId, LabelId>& key) {
+        return e.neighbor != key.first ? e.neighbor < key.first
+                                       : e.edge_label < key.second;
+      });
+  return it != adj.end() && it->neighbor == to && it->edge_label == edge_label;
+}
+
+const NodeSet& Graph::NodesWithLabel(LabelId label) const {
+  if (label >= label_index_.size()) return empty_node_set_;
+  return label_index_[label];
+}
+
+const std::vector<AttrValue>& Graph::ActiveDomain(AttrId a) const {
+  if (a >= global_adom_.size()) return empty_domain_;
+  return global_adom_[a];
+}
+
+const std::vector<AttrValue>& Graph::ActiveDomain(LabelId label, AttrId a) const {
+  auto it = label_adom_.find({label, a});
+  if (it == label_adom_.end()) return empty_domain_;
+  return it->second;
+}
+
+}  // namespace fairsqg

@@ -1,0 +1,29 @@
+#ifndef FAIRSQG_GRAPH_GRAPH_IO_H_
+#define FAIRSQG_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace fairsqg {
+
+/// \brief Plain-text serialization of attributed graphs.
+///
+/// Line-oriented format, one record per line:
+/// \code
+///   # comment
+///   v <id> <label> [attr=value ...]     value: i:<int> d:<double> s:<text>
+///   e <from> <to> <edge_label>
+/// \endcode
+/// Node ids must be dense and ascending starting at 0.
+Status WriteGraphText(const Graph& g, std::ostream& out);
+Status WriteGraphFile(const Graph& g, const std::string& path);
+
+Result<Graph> ReadGraphText(std::istream& in);
+Result<Graph> ReadGraphFile(const std::string& path);
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,46 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fairsqg {
+
+GraphStats ComputeGraphStats(const Graph& g) {
+  GraphStats s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+  s.num_node_labels = g.schema().num_node_labels();
+  s.num_edge_labels = g.schema().num_edge_labels();
+  s.max_degree = g.max_degree();
+  s.max_active_domain = g.MaxActiveDomainSize();
+
+  size_t total_attrs = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) total_attrs += g.attrs(v).size();
+  if (g.num_nodes() > 0) {
+    s.avg_attrs_per_node =
+        static_cast<double>(total_attrs) / static_cast<double>(g.num_nodes());
+    s.avg_degree = 2.0 * static_cast<double>(g.num_edges()) /
+                   static_cast<double>(g.num_nodes());
+  }
+
+  for (LabelId l = 0; l < g.schema().num_node_labels(); ++l) {
+    size_t count = g.NodesWithLabel(l).size();
+    if (count > 0) s.label_histogram.emplace_back(g.schema().NodeLabelName(l), count);
+  }
+  std::sort(s.label_histogram.begin(), s.label_histogram.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return s;
+}
+
+std::string FormatStatsRow(const std::string& dataset_name, const GraphStats& s) {
+  std::ostringstream out;
+  out << dataset_name << " |V|=" << s.num_nodes << " |E|=" << s.num_edges
+      << " node-labels=" << s.num_node_labels
+      << " edge-labels=" << s.num_edge_labels << " avg#attr=";
+  out.precision(2);
+  out << std::fixed << s.avg_attrs_per_node << " avg-deg=" << s.avg_degree
+      << " max-deg=" << s.max_degree << " max|adom|=" << s.max_active_domain;
+  return out.str();
+}
+
+}  // namespace fairsqg

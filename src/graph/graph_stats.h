@@ -1,0 +1,34 @@
+#ifndef FAIRSQG_GRAPH_GRAPH_STATS_H_
+#define FAIRSQG_GRAPH_GRAPH_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fairsqg {
+
+/// Summary statistics of a data graph (Table II of the paper).
+struct GraphStats {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  size_t num_node_labels = 0;
+  size_t num_edge_labels = 0;
+  double avg_attrs_per_node = 0.0;
+  size_t max_degree = 0;
+  double avg_degree = 0.0;
+  size_t max_active_domain = 0;
+  /// (label name, count), descending by count.
+  std::vector<std::pair<std::string, size_t>> label_histogram;
+};
+
+/// Computes summary statistics over `g`.
+GraphStats ComputeGraphStats(const Graph& g);
+
+/// Renders the stats in the layout of the paper's Table II row.
+std::string FormatStatsRow(const std::string& dataset_name, const GraphStats& s);
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_GRAPH_GRAPH_STATS_H_

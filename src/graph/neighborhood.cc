@@ -1,0 +1,45 @@
+#include "graph/neighborhood.h"
+
+#include <deque>
+
+namespace fairsqg {
+
+std::vector<bool> DHopMask(const Graph& g, const NodeSet& seeds, int d) {
+  std::vector<bool> visited(g.num_nodes(), false);
+  std::deque<std::pair<NodeId, int>> queue;
+  for (NodeId v : seeds) {
+    if (v < g.num_nodes() && !visited[v]) {
+      visited[v] = true;
+      queue.emplace_back(v, 0);
+    }
+  }
+  while (!queue.empty()) {
+    auto [v, depth] = queue.front();
+    queue.pop_front();
+    if (depth == d) continue;
+    for (const AdjEntry& e : g.OutEdges(v)) {
+      if (!visited[e.neighbor]) {
+        visited[e.neighbor] = true;
+        queue.emplace_back(e.neighbor, depth + 1);
+      }
+    }
+    for (const AdjEntry& e : g.InEdges(v)) {
+      if (!visited[e.neighbor]) {
+        visited[e.neighbor] = true;
+        queue.emplace_back(e.neighbor, depth + 1);
+      }
+    }
+  }
+  return visited;
+}
+
+NodeSet DHopNeighborhood(const Graph& g, const NodeSet& seeds, int d) {
+  std::vector<bool> mask = DHopMask(g, seeds, d);
+  NodeSet out;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (mask[v]) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace fairsqg

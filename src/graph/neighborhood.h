@@ -1,0 +1,25 @@
+#ifndef FAIRSQG_GRAPH_NEIGHBORHOOD_H_
+#define FAIRSQG_GRAPH_NEIGHBORHOOD_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace fairsqg {
+
+/// \brief Nodes within `d` hops (ignoring direction) of any seed node.
+///
+/// This is the paper's `G_q^d`: the subgraph induced by the d-hop
+/// neighbours of a verified instance's match set, which Spawn uses to
+/// restrict the values its refinement steps need to consider. The result is
+/// sorted ascending and includes the seeds.
+NodeSet DHopNeighborhood(const Graph& g, const NodeSet& seeds, int d);
+
+/// \brief Membership mask form of DHopNeighborhood for repeated probes;
+/// `mask[v]` is true iff v is within d hops of a seed.
+std::vector<bool> DHopMask(const Graph& g, const NodeSet& seeds, int d);
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_GRAPH_NEIGHBORHOOD_H_

@@ -1,0 +1,26 @@
+#include "graph/schema.h"
+
+#include "common/logging.h"
+
+namespace fairsqg {
+
+uint32_t Dictionary::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+uint32_t Dictionary::Lookup(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kInvalidLabel : it->second;
+}
+
+const std::string& Dictionary::Name(uint32_t id) const {
+  FAIRSQG_CHECK(id < names_.size()) << "dictionary id out of range: " << id;
+  return names_[id];
+}
+
+}  // namespace fairsqg

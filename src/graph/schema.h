@@ -1,0 +1,76 @@
+#ifndef FAIRSQG_GRAPH_SCHEMA_H_
+#define FAIRSQG_GRAPH_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace fairsqg {
+
+/// \brief Bidirectional string<->id dictionary for interned names.
+class Dictionary {
+ public:
+  /// Returns the id of `name`, interning it if new.
+  uint32_t Intern(std::string_view name);
+
+  /// Id of `name`, or kInvalidLabel if unknown (no interning).
+  uint32_t Lookup(std::string_view name) const;
+
+  /// Name of `id`; id must be valid.
+  const std::string& Name(uint32_t id) const;
+
+  bool Contains(std::string_view name) const {
+    return Lookup(name) != kInvalidLabel;
+  }
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t> ids_;
+};
+
+/// \brief The vocabulary of a data graph: node labels, edge labels, and
+/// attribute names. Shared by the graph, templates, and instances so that
+/// all of them speak in dense interned ids.
+class Schema {
+ public:
+  LabelId InternNodeLabel(std::string_view name) {
+    return node_labels_.Intern(name);
+  }
+  LabelId InternEdgeLabel(std::string_view name) {
+    return edge_labels_.Intern(name);
+  }
+  AttrId InternAttr(std::string_view name) { return attrs_.Intern(name); }
+
+  LabelId NodeLabelId(std::string_view name) const {
+    return node_labels_.Lookup(name);
+  }
+  LabelId EdgeLabelId(std::string_view name) const {
+    return edge_labels_.Lookup(name);
+  }
+  AttrId AttrIdOf(std::string_view name) const { return attrs_.Lookup(name); }
+
+  const std::string& NodeLabelName(LabelId id) const {
+    return node_labels_.Name(id);
+  }
+  const std::string& EdgeLabelName(LabelId id) const {
+    return edge_labels_.Name(id);
+  }
+  const std::string& AttrName(AttrId id) const { return attrs_.Name(id); }
+
+  size_t num_node_labels() const { return node_labels_.size(); }
+  size_t num_edge_labels() const { return edge_labels_.size(); }
+  size_t num_attrs() const { return attrs_.size(); }
+
+ private:
+  Dictionary node_labels_;
+  Dictionary edge_labels_;
+  Dictionary attrs_;
+};
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_GRAPH_SCHEMA_H_

@@ -1,0 +1,29 @@
+#ifndef FAIRSQG_GRAPH_TYPES_H_
+#define FAIRSQG_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace fairsqg {
+
+/// Dense identifier of a data-graph node.
+using NodeId = uint32_t;
+/// Dense identifier of a data-graph edge.
+using EdgeId = uint32_t;
+/// Interned node/edge label.
+using LabelId = uint32_t;
+/// Interned attribute name.
+using AttrId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+inline constexpr LabelId kInvalidLabel = std::numeric_limits<LabelId>::max();
+inline constexpr AttrId kInvalidAttr = std::numeric_limits<AttrId>::max();
+
+/// A set of data-graph nodes, kept sorted and unique by convention.
+using NodeSet = std::vector<NodeId>;
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_GRAPH_TYPES_H_

@@ -1,0 +1,17 @@
+#ifndef FAIRSQG_MATCHING_BRUTE_FORCE_H_
+#define FAIRSQG_MATCHING_BRUTE_FORCE_H_
+
+#include "matching/candidate_space.h"
+
+namespace fairsqg {
+
+/// \brief Reference implementation of output-node matching.
+///
+/// Enumerates every injective assignment of data nodes to the active query
+/// nodes and checks all labels, literals, and edges directly. Exponential;
+/// only for cross-validating SubgraphMatcher in tests and for tiny graphs.
+NodeSet BruteForceMatchOutput(const Graph& g, const QueryInstance& q);
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_MATCHING_BRUTE_FORCE_H_

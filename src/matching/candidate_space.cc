@@ -1,0 +1,80 @@
+#include "matching/candidate_space.h"
+
+#include "common/logging.h"
+
+namespace fairsqg {
+
+bool NodeSatisfies(const Graph& g, NodeId v, LabelId label,
+                   const std::vector<BoundLiteral>& literals) {
+  if (g.node_label(v) != label) return false;
+  for (const BoundLiteral& l : literals) {
+    const AttrValue* value = g.GetAttr(v, l.attr);
+    if (value == nullptr || !value->Compare(l.op, l.value)) return false;
+  }
+  return true;
+}
+
+CandidateSpace CandidateSpace::Build(const Graph& g, const QueryInstance& q,
+                                     bool degree_filter) {
+  CandidateSpace space;
+  const QueryTemplate& tmpl = q.tmpl();
+
+  // Active out/in degree per query node (for the degree filter).
+  std::vector<size_t> out_deg(tmpl.num_nodes(), 0);
+  std::vector<size_t> in_deg(tmpl.num_nodes(), 0);
+  if (degree_filter) {
+    for (const InstanceEdge& e : q.active_edges()) {
+      ++out_deg[e.from];
+      ++in_deg[e.to];
+    }
+  }
+
+  space.per_node_.resize(tmpl.num_nodes());
+  for (QNodeId u = 0; u < tmpl.num_nodes(); ++u) {
+    LabelId label = tmpl.node_label(u);
+    auto set = std::make_shared<NodeSet>();
+    const std::vector<BoundLiteral>& lits = q.literals_of(u);
+    bool filter = degree_filter && q.is_active(u);
+    for (NodeId v : g.NodesWithLabel(label)) {
+      if (filter && (g.out_degree(v) < out_deg[u] || g.in_degree(v) < in_deg[u])) {
+        continue;
+      }
+      if (NodeSatisfies(g, v, label, lits)) set->push_back(v);
+    }
+    space.per_node_[u] = std::move(set);
+  }
+  return space;
+}
+
+CandidateSpace CandidateSpace::DeriveRefined(const Graph& g,
+                                             const QueryInstance& child,
+                                             const CandidateSpace& parent,
+                                             uint32_t changed_var) {
+  const QueryTemplate& tmpl = child.tmpl();
+  FAIRSQG_CHECK(parent.per_node_.size() == tmpl.num_nodes())
+      << "candidate space arity mismatch";
+  CandidateSpace space;
+  space.per_node_ = parent.per_node_;  // Share every set by pointer.
+  if (changed_var >= tmpl.num_range_vars()) {
+    return space;  // Edge-variable step: no literal changed.
+  }
+  const LiteralTemplate& l = tmpl.literals()[tmpl.literal_of_var(changed_var)];
+  QNodeId u = l.node;
+  LabelId label = tmpl.node_label(u);
+  auto set = std::make_shared<NodeSet>();
+  const std::vector<BoundLiteral>& lits = child.literals_of(u);
+  for (NodeId v : parent.of(u)) {  // Refinement shrinks: parent is a superset.
+    if (NodeSatisfies(g, v, label, lits)) set->push_back(v);
+  }
+  space.per_node_[u] = std::move(set);
+  return space;
+}
+
+bool CandidateSpace::HasEmptyActive(const QueryInstance& q) const {
+  for (QNodeId u : q.active_nodes()) {
+    if (per_node_[u]->empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace fairsqg

@@ -1,0 +1,60 @@
+#ifndef FAIRSQG_MATCHING_CANDIDATE_SPACE_H_
+#define FAIRSQG_MATCHING_CANDIDATE_SPACE_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/instance.h"
+
+namespace fairsqg {
+
+/// \brief Per-query-node candidate sets: for each template node `u`, the
+/// data nodes with `u`'s label satisfying all of `u`'s bound literals.
+///
+/// Candidate sets are shared copy-on-write between a parent instance and
+/// its lattice children, because a one-variable refinement only shrinks the
+/// candidates of the literal's node (Lemma 2): DeriveRefined reuses every
+/// other node's set by pointer.
+class CandidateSpace {
+ public:
+  CandidateSpace() = default;
+
+  /// Builds candidates for every template node of `q` from scratch.
+  /// With `degree_filter` (valid under isomorphism semantics only), a
+  /// candidate for an active query node must have at least the node's
+  /// active out- and in-degrees: injectivity forces distinct data edges
+  /// per query edge, so lower-degree nodes can never host an embedding.
+  static CandidateSpace Build(const Graph& g, const QueryInstance& q,
+                              bool degree_filter = false);
+
+  /// Derives the space of a child instance that refines `parent_instance`'s
+  /// space at one range variable: only that literal's node is re-filtered,
+  /// starting from the parent's (superset) candidates. Edge-variable steps
+  /// leave all candidate sets untouched.
+  ///
+  /// `changed_var` uses the lattice encoding (range vars first).
+  static CandidateSpace DeriveRefined(const Graph& g, const QueryInstance& child,
+                                      const CandidateSpace& parent,
+                                      uint32_t changed_var);
+
+  /// Candidates of query node `u`; never null after Build/Derive.
+  const NodeSet& of(QNodeId u) const { return *per_node_[u]; }
+
+  size_t num_nodes() const { return per_node_.size(); }
+
+  /// True if some *active* node of `q` has no candidates (no match exists).
+  bool HasEmptyActive(const QueryInstance& q) const;
+
+ private:
+  std::vector<std::shared_ptr<const NodeSet>> per_node_;
+};
+
+/// True iff data node `v` carries `label` and satisfies every literal in
+/// `literals` (conjunction; missing attributes never satisfy a predicate).
+bool NodeSatisfies(const Graph& g, NodeId v, LabelId label,
+                   const std::vector<BoundLiteral>& literals);
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_MATCHING_CANDIDATE_SPACE_H_

@@ -1,0 +1,90 @@
+#ifndef FAIRSQG_MATCHING_SUBGRAPH_MATCHER_H_
+#define FAIRSQG_MATCHING_SUBGRAPH_MATCHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "matching/candidate_space.h"
+
+namespace fairsqg {
+
+/// Matching semantics for query evaluation: subgraph isomorphism (the
+/// paper's semantics; embeddings are injective) or graph homomorphism
+/// (query nodes may map to the same data node — cheaper, larger answers).
+enum class MatchSemantics { kIsomorphism, kHomomorphism };
+
+/// Counters accumulated across MatchOutput calls.
+struct MatchStats {
+  uint64_t instances_matched = 0;
+  uint64_t output_candidates_tested = 0;
+  uint64_t backtrack_steps = 0;
+
+  void Reset() { *this = MatchStats(); }
+};
+
+/// \brief Subgraph-isomorphism engine computing output-node match sets.
+///
+/// For a query instance `q(u_o)`, MatchOutput returns `q(G)`: every data
+/// node `v` such that an injective, label-, predicate-, and edge-preserving
+/// embedding of u_o's connected component maps u_o to v (the paper's
+/// matching semantics, Section II). The search is a VF2-style backtracking
+/// over the active query nodes, anchored at u_o and extended along query
+/// edges in a connectivity-aware order with smallest-candidate-set-first
+/// tie-breaking; one embedding per output candidate suffices (existence).
+class SubgraphMatcher {
+ public:
+  explicit SubgraphMatcher(const Graph& g,
+                           MatchSemantics semantics = MatchSemantics::kIsomorphism)
+      : g_(&g), semantics_(semantics) {}
+
+  MatchSemantics semantics() const { return semantics_; }
+
+  /// Computes q(G) given prebuilt candidates. If `output_restrict` is
+  /// non-null, only those nodes are considered as images of u_o — this is
+  /// the incVerify path: a refined child's match set is a subset of its
+  /// parent's (Lemma 2), so the parent's q(G) bounds the search.
+  NodeSet MatchOutput(const QueryInstance& q, const CandidateSpace& candidates,
+                      const NodeSet* output_restrict = nullptr);
+
+  /// Convenience: builds candidates and matches in one call.
+  NodeSet MatchOutput(const QueryInstance& q);
+
+  /// \brief Match set of an arbitrary *active* query node `anchor`:
+  /// every data node some embedding maps `anchor` to. MatchOutput is
+  /// MatchNode(q, candidates, q.output_node()). Returns an empty set when
+  /// `anchor` lies outside u_o's component (the instance does not
+  /// constrain it). Substrate for the multiple-output-node extension.
+  NodeSet MatchNode(const QueryInstance& q, const CandidateSpace& candidates,
+                    QNodeId anchor, const NodeSet* output_restrict = nullptr);
+
+  /// Visitor over full embeddings: `assignment[u]` is the data node bound
+  /// to query node u (kInvalidNode for nodes outside u_o's component).
+  /// Return false from the visitor to stop the enumeration.
+  using EmbeddingVisitor = std::function<bool(const std::vector<NodeId>&)>;
+
+  /// rief Enumerates every embedding of the instance (not just output
+  /// matches); returns the number of embeddings visited. `limit` 0 means
+  /// unlimited. Useful for explanation UIs and benchmark auditing.
+  size_t EnumerateEmbeddings(const QueryInstance& q,
+                             const CandidateSpace& candidates,
+                             const EmbeddingVisitor& visitor, size_t limit = 0);
+
+  const MatchStats& stats() const { return stats_; }
+  MatchStats& mutable_stats() { return stats_; }
+
+ private:
+  struct Plan;
+
+  /// True if an embedding extending {u_o -> v} exists.
+  bool ExistsEmbedding(const QueryInstance& q, const CandidateSpace& candidates,
+                       const Plan& plan, NodeId v);
+
+  const Graph* g_;
+  MatchSemantics semantics_;
+  MatchStats stats_;
+};
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_MATCHING_SUBGRAPH_MATCHER_H_

@@ -1,0 +1,86 @@
+#include "query/instance.h"
+
+#include <deque>
+#include <sstream>
+
+namespace fairsqg {
+
+QueryInstance QueryInstance::Materialize(const QueryTemplate& tmpl,
+                                         const VariableDomains& domains,
+                                         Instantiation inst) {
+  QueryInstance q;
+  q.tmpl_ = &tmpl;
+  q.inst_ = std::move(inst);
+  q.output_node_ = tmpl.output_node();
+
+  // Edges active under I: fixed edges plus variable edges bound to 1.
+  std::vector<const QueryEdge*> present;
+  present.reserve(tmpl.num_edges());
+  for (const QueryEdge& e : tmpl.edges()) {
+    if (!e.is_variable() || q.inst_.edge_binding(e.variable) == 1) {
+      present.push_back(&e);
+    }
+  }
+
+  // Connected component of u_o over the present edges (undirected).
+  q.active_mask_.assign(tmpl.num_nodes(), false);
+  q.active_mask_[q.output_node_] = true;
+  std::deque<QNodeId> queue{q.output_node_};
+  while (!queue.empty()) {
+    QNodeId v = queue.front();
+    queue.pop_front();
+    for (const QueryEdge* e : present) {
+      QNodeId other = kInvalidNode;
+      if (e->from == v) other = e->to;
+      if (e->to == v) other = e->from;
+      if (other != kInvalidNode && !q.active_mask_[other]) {
+        q.active_mask_[other] = true;
+        queue.push_back(other);
+      }
+    }
+  }
+  for (QNodeId u = 0; u < tmpl.num_nodes(); ++u) {
+    if (q.active_mask_[u]) q.active_nodes_.push_back(u);
+  }
+  for (const QueryEdge* e : present) {
+    if (q.active_mask_[e->from] && q.active_mask_[e->to]) {
+      q.active_edges_.push_back({e->from, e->to, e->label});
+    }
+  }
+
+  // Bound literals: fixed literals as-is, variable literals resolved via
+  // the domain index, wildcards dropped.
+  q.node_literals_.resize(tmpl.num_nodes());
+  for (const LiteralTemplate& l : tmpl.literals()) {
+    if (l.is_variable()) {
+      int32_t binding = q.inst_.range_binding(l.variable);
+      if (binding == kWildcardBinding) continue;
+      q.node_literals_[l.node].push_back(
+          {l.node, l.attr, l.op,
+           domains.value(l.variable, static_cast<size_t>(binding))});
+    } else {
+      q.node_literals_[l.node].push_back({l.node, l.attr, l.op, l.fixed_value});
+    }
+  }
+  return q;
+}
+
+std::string QueryInstance::ToString() const {
+  std::ostringstream out;
+  out << "QueryInstance(u_o=u" << output_node_ << ")\n";
+  for (QNodeId u : active_nodes_) {
+    out << "  u" << u << ": " << tmpl_->schema().NodeLabelName(tmpl_->node_label(u));
+    for (const BoundLiteral& l : node_literals_[u]) {
+      out << " [" << tmpl_->schema().AttrName(l.attr) << " "
+          << CompareOpToString(l.op) << " " << l.value.ToString() << "]";
+    }
+    out << "\n";
+  }
+  for (const InstanceEdge& e : active_edges_) {
+    out << "  u" << e.from << " -" << tmpl_->schema().EdgeLabelName(e.label)
+        << "-> u" << e.to << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace fairsqg

@@ -1,0 +1,75 @@
+#ifndef FAIRSQG_QUERY_INSTANCE_H_
+#define FAIRSQG_QUERY_INSTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/attr_value.h"
+#include "query/instantiation.h"
+
+namespace fairsqg {
+
+/// A fully bound search predicate of a query instance.
+struct BoundLiteral {
+  QNodeId node;
+  AttrId attr;
+  CompareOp op;
+  AttrValue value;
+};
+
+/// An active (present) edge of a query instance.
+struct InstanceEdge {
+  QNodeId from;
+  QNodeId to;
+  LabelId label;
+};
+
+/// \brief A query instance `q(u_o)` of a template induced by an
+/// instantiation `I` (Section II).
+///
+/// Per the paper, the instance keeps exactly the edges that are active
+/// under `I` *and* lie in the connected component of the output node;
+/// wildcarded predicates are dropped. Query nodes outside u_o's component
+/// do not constrain the match set and are excluded from active_nodes().
+class QueryInstance {
+ public:
+  /// Materializes `inst` over `tmpl`, resolving range bindings via `domains`.
+  static QueryInstance Materialize(const QueryTemplate& tmpl,
+                                   const VariableDomains& domains,
+                                   Instantiation inst);
+
+  const Instantiation& instantiation() const { return inst_; }
+  const QueryTemplate& tmpl() const { return *tmpl_; }
+
+  QNodeId output_node() const { return output_node_; }
+
+  /// Query nodes in u_o's connected component, ascending.
+  const std::vector<QNodeId>& active_nodes() const { return active_nodes_; }
+  bool is_active(QNodeId u) const { return active_mask_[u]; }
+
+  /// Active edges within u_o's component.
+  const std::vector<InstanceEdge>& active_edges() const { return active_edges_; }
+
+  /// Bound literals of node `u` (wildcards dropped); indexed by QNodeId.
+  const std::vector<BoundLiteral>& literals_of(QNodeId u) const {
+    return node_literals_[u];
+  }
+
+  /// Number of active edges (the paper's instance size |q|).
+  size_t num_active_edges() const { return active_edges_.size(); }
+
+  std::string ToString() const;
+
+ private:
+  const QueryTemplate* tmpl_ = nullptr;
+  Instantiation inst_;
+  QNodeId output_node_ = 0;
+  std::vector<QNodeId> active_nodes_;
+  std::vector<bool> active_mask_;
+  std::vector<InstanceEdge> active_edges_;
+  std::vector<std::vector<BoundLiteral>> node_literals_;
+};
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_QUERY_INSTANCE_H_

@@ -1,0 +1,72 @@
+#include "query/instantiation.h"
+
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace fairsqg {
+
+Instantiation Instantiation::MostRelaxed(const QueryTemplate& tmpl) {
+  return Instantiation(
+      std::vector<int32_t>(tmpl.num_range_vars(), kWildcardBinding),
+      std::vector<uint8_t>(tmpl.num_edge_vars(), 0));
+}
+
+Instantiation Instantiation::MostRefined(const QueryTemplate& tmpl,
+                                         const VariableDomains& domains) {
+  std::vector<int32_t> range(tmpl.num_range_vars(), kWildcardBinding);
+  for (RangeVarId x = 0; x < tmpl.num_range_vars(); ++x) {
+    if (domains.size(x) > 0) {
+      range[x] = static_cast<int32_t>(domains.size(x)) - 1;
+    }
+  }
+  return Instantiation(std::move(range),
+                       std::vector<uint8_t>(tmpl.num_edge_vars(), 1));
+}
+
+bool Instantiation::Refines(const Instantiation& other) const {
+  for (size_t x = 0; x < range_.size(); ++x) {
+    if (other.range_[x] == kWildcardBinding) continue;  // '_' is most relaxed.
+    if (range_[x] == kWildcardBinding) return false;
+    if (range_[x] < other.range_[x]) return false;
+  }
+  for (size_t x = 0; x < edge_.size(); ++x) {
+    if (edge_[x] < other.edge_[x]) return false;  // Edge present in other only.
+  }
+  return true;
+}
+
+uint64_t Instantiation::Hash() const {
+  uint64_t h = 0x5851f42d4c957f2dULL;
+  for (int32_t b : range_) HashCombine(&h, Mix64(static_cast<uint64_t>(b) + 2));
+  for (uint8_t b : edge_) HashCombine(&h, Mix64(b + 11));
+  return h;
+}
+
+std::string Instantiation::ToString(const QueryTemplate& tmpl,
+                                    const VariableDomains& domains) const {
+  (void)tmpl;
+  std::ostringstream out;
+  out << "[";
+  for (size_t x = 0; x < range_.size(); ++x) {
+    if (x > 0) out << " ";
+    out << "x" << x << "=";
+    if (range_[x] == kWildcardBinding) {
+      out << "_";
+    } else {
+      out << domains.value(static_cast<RangeVarId>(x),
+                           static_cast<size_t>(range_[x]))
+                 .ToString();
+    }
+  }
+  if (!edge_.empty()) {
+    out << " |";
+    for (size_t x = 0; x < edge_.size(); ++x) {
+      out << " e" << x << "=" << static_cast<int>(edge_[x]);
+    }
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace fairsqg

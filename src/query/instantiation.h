@@ -1,0 +1,83 @@
+#ifndef FAIRSQG_QUERY_INSTANTIATION_H_
+#define FAIRSQG_QUERY_INSTANTIATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/domains.h"
+#include "query/query_template.h"
+
+namespace fairsqg {
+
+/// Wildcard binding '_' of a range variable (predicate dropped).
+inline constexpr int32_t kWildcardBinding = -1;
+
+/// \brief A total binding `I` of a template's variables (Section II).
+///
+/// Range variables are bound by an index into their VariableDomains value
+/// list (relaxed -> refined order) or by kWildcardBinding. Edge variables
+/// are bound to 0 (edge absent) or 1 (edge present).
+class Instantiation {
+ public:
+  Instantiation() = default;
+  Instantiation(std::vector<int32_t> range_bindings,
+                std::vector<uint8_t> edge_bindings)
+      : range_(std::move(range_bindings)), edge_(std::move(edge_bindings)) {}
+
+  /// The most relaxed instantiation (lattice root q_r): every range
+  /// variable wildcarded, every optional edge absent.
+  static Instantiation MostRelaxed(const QueryTemplate& tmpl);
+
+  /// The most refined instantiation (lattice bottom q_b): every range
+  /// variable at its last domain index, every optional edge present.
+  /// Variables with empty domains stay wildcarded (no constant to bind).
+  static Instantiation MostRefined(const QueryTemplate& tmpl,
+                                   const VariableDomains& domains);
+
+  size_t num_range_vars() const { return range_.size(); }
+  size_t num_edge_vars() const { return edge_.size(); }
+
+  int32_t range_binding(RangeVarId x) const { return range_[x]; }
+  bool is_wildcard(RangeVarId x) const { return range_[x] == kWildcardBinding; }
+  uint8_t edge_binding(EdgeVarId x) const { return edge_[x]; }
+
+  void set_range_binding(RangeVarId x, int32_t index) { range_[x] = index; }
+  void set_edge_binding(EdgeVarId x, uint8_t value) { edge_[x] = value; }
+
+  /// \brief Refinement preorder `this >= other` (Section IV): every range
+  /// variable of `this` is at least as selective as in `other`, and every
+  /// edge present in `other` is present in `this`.
+  bool Refines(const Instantiation& other) const;
+
+  /// Strict refinement: Refines(other) and the bindings differ.
+  bool StrictlyRefines(const Instantiation& other) const {
+    return *this != other && Refines(other);
+  }
+
+  bool operator==(const Instantiation& other) const {
+    return range_ == other.range_ && edge_ == other.edge_;
+  }
+  bool operator!=(const Instantiation& other) const { return !(*this == other); }
+
+  /// Stable hash for visited-set deduplication.
+  uint64_t Hash() const;
+
+  /// E.g. "[x0=10 x1=_ | e0=1 e1=0]" with values resolved via `domains`.
+  std::string ToString(const QueryTemplate& tmpl,
+                       const VariableDomains& domains) const;
+
+  struct Hasher {
+    size_t operator()(const Instantiation& i) const {
+      return static_cast<size_t>(i.Hash());
+    }
+  };
+
+ private:
+  std::vector<int32_t> range_;
+  std::vector<uint8_t> edge_;
+};
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_QUERY_INSTANTIATION_H_

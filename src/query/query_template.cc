@@ -1,0 +1,200 @@
+#include "query/query_template.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace fairsqg {
+
+QNodeId QueryTemplate::AddNode(std::string_view label) {
+  return AddNode(schema_->InternNodeLabel(label));
+}
+
+QNodeId QueryTemplate::AddNode(LabelId label) {
+  QNodeId id = static_cast<QNodeId>(node_labels_.size());
+  node_labels_.push_back(label);
+  node_literals_.emplace_back();
+  return id;
+}
+
+void QueryTemplate::AddLiteral(QNodeId u, std::string_view attr, CompareOp op,
+                               AttrValue value) {
+  AddLiteral(u, schema_->InternAttr(attr), op, std::move(value));
+}
+
+void QueryTemplate::AddLiteral(QNodeId u, AttrId attr, CompareOp op,
+                               AttrValue value) {
+  FAIRSQG_CHECK(u < num_nodes()) << "literal on unknown query node";
+  LiteralTemplate l;
+  l.node = u;
+  l.attr = attr;
+  l.op = op;
+  l.fixed_value = std::move(value);
+  node_literals_[u].push_back(static_cast<uint32_t>(literals_.size()));
+  literals_.push_back(std::move(l));
+}
+
+RangeVarId QueryTemplate::AddRangeLiteral(QNodeId u, std::string_view attr,
+                                          CompareOp op) {
+  return AddRangeLiteral(u, schema_->InternAttr(attr), op);
+}
+
+RangeVarId QueryTemplate::AddRangeLiteral(QNodeId u, AttrId attr, CompareOp op) {
+  FAIRSQG_CHECK(u < num_nodes()) << "literal on unknown query node";
+  RangeVarId var = static_cast<RangeVarId>(range_var_literal_.size());
+  LiteralTemplate l;
+  l.node = u;
+  l.attr = attr;
+  l.op = op;
+  l.variable = var;
+  node_literals_[u].push_back(static_cast<uint32_t>(literals_.size()));
+  range_var_literal_.push_back(static_cast<uint32_t>(literals_.size()));
+  literals_.push_back(std::move(l));
+  return var;
+}
+
+QEdgeId QueryTemplate::AddEdge(QNodeId from, QNodeId to, std::string_view label) {
+  return AddEdge(from, to, schema_->InternEdgeLabel(label));
+}
+
+QEdgeId QueryTemplate::AddEdge(QNodeId from, QNodeId to, LabelId label) {
+  QEdgeId id = static_cast<QEdgeId>(edges_.size());
+  edges_.push_back({from, to, label, kNoVariable});
+  return id;
+}
+
+EdgeVarId QueryTemplate::AddVariableEdge(QNodeId from, QNodeId to,
+                                         std::string_view label) {
+  return AddVariableEdge(from, to, schema_->InternEdgeLabel(label));
+}
+
+EdgeVarId QueryTemplate::AddVariableEdge(QNodeId from, QNodeId to, LabelId label) {
+  EdgeVarId var = static_cast<EdgeVarId>(edge_var_edge_.size());
+  QEdgeId e = static_cast<QEdgeId>(edges_.size());
+  edges_.push_back({from, to, label, var});
+  edge_var_edge_.push_back(e);
+  return var;
+}
+
+const std::vector<uint32_t>& QueryTemplate::literals_of(QNodeId u) const {
+  FAIRSQG_CHECK(u < num_nodes());
+  return node_literals_[u];
+}
+
+int QueryTemplate::Diameter() const {
+  const size_t n = num_nodes();
+  if (n == 0) return 0;
+  // Undirected adjacency with all edges present.
+  std::vector<std::vector<QNodeId>> adj(n);
+  for (const QueryEdge& e : edges_) {
+    adj[e.from].push_back(e.to);
+    adj[e.to].push_back(e.from);
+  }
+  int diameter = 0;
+  std::vector<int> dist(n);
+  for (QNodeId s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::deque<QNodeId> queue{s};
+    dist[s] = 0;
+    while (!queue.empty()) {
+      QNodeId v = queue.front();
+      queue.pop_front();
+      diameter = std::max(diameter, dist[v]);
+      for (QNodeId w : adj[v]) {
+        if (dist[w] < 0) {
+          dist[w] = dist[v] + 1;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return diameter;
+}
+
+Status QueryTemplate::Validate() const {
+  if (num_nodes() == 0) return Status::InvalidArgument("template has no nodes");
+  if (output_node_ >= num_nodes()) {
+    return Status::InvalidArgument("output node out of range");
+  }
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const QueryEdge& e = edges_[i];
+    if (e.from >= num_nodes() || e.to >= num_nodes()) {
+      return Status::InvalidArgument("query edge endpoint out of range");
+    }
+    if (e.from == e.to) return Status::InvalidArgument("self-loop query edge");
+    for (size_t j = i + 1; j < edges_.size(); ++j) {
+      const QueryEdge& o = edges_[j];
+      if (e.from == o.from && e.to == o.to && e.label == o.label) {
+        return Status::InvalidArgument(
+            "duplicate query edge (same endpoints and label)");
+      }
+    }
+  }
+  for (const LiteralTemplate& l : literals_) {
+    if (l.attr == kInvalidAttr) return Status::InvalidArgument("literal attr unset");
+    if (l.is_variable() && l.op == CompareOp::kEq) {
+      return Status::InvalidArgument(
+          "range variables require an inequality op; '=' literals must be fixed");
+    }
+  }
+  // Connectivity with all edges present (the template must be a connected
+  // graph per its definition; instances keep u_o's component).
+  if (num_nodes() > 1) {
+    std::vector<bool> seen(num_nodes(), false);
+    std::deque<QNodeId> queue{output_node_};
+    seen[output_node_] = true;
+    size_t reached = 1;
+    while (!queue.empty()) {
+      QNodeId v = queue.front();
+      queue.pop_front();
+      for (const QueryEdge& e : edges_) {
+        QNodeId other = kInvalidNode;
+        if (e.from == v) other = e.to;
+        if (e.to == v) other = e.from;
+        if (other != kInvalidNode && !seen[other]) {
+          seen[other] = true;
+          ++reached;
+          queue.push_back(other);
+        }
+      }
+    }
+    if (reached != num_nodes()) {
+      return Status::InvalidArgument("template graph is not connected");
+    }
+  }
+  return Status::OK();
+}
+
+std::string QueryTemplate::ToString() const {
+  std::ostringstream out;
+  out << "QueryTemplate(u_o=u" << output_node_ << ", |V|=" << num_nodes()
+      << ", |E|=" << num_edges() << ", |X_L|=" << num_range_vars()
+      << ", |X_E|=" << num_edge_vars() << ")\n";
+  for (QNodeId u = 0; u < num_nodes(); ++u) {
+    out << "  u" << u << ": " << schema_->NodeLabelName(node_labels_[u]);
+    for (uint32_t li : node_literals_[u]) {
+      const LiteralTemplate& l = literals_[li];
+      out << " [" << schema_->AttrName(l.attr) << " " << CompareOpToString(l.op)
+          << " ";
+      if (l.is_variable()) {
+        out << "x" << l.variable;
+      } else {
+        out << l.fixed_value.ToString();
+      }
+      out << "]";
+    }
+    out << "\n";
+  }
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const QueryEdge& e = edges_[i];
+    out << "  u" << e.from << " -" << schema_->EdgeLabelName(e.label) << "-> u"
+        << e.to;
+    if (e.is_variable()) out << " [xe" << e.variable << "]";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace fairsqg

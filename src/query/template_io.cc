@@ -1,0 +1,177 @@
+#include "query/template_io.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace fairsqg {
+
+namespace {
+
+std::string EncodeValue(const AttrValue& v) {
+  if (v.is_int()) return "i:" + v.ToString();
+  if (v.is_double()) return "d:" + v.ToString();
+  return "s:" + v.as_string();
+}
+
+Result<AttrValue> DecodeValue(std::string_view text) {
+  if (text.size() < 2 || text[1] != ':') {
+    return Status::InvalidArgument("bad typed value: '" + std::string(text) + "'");
+  }
+  std::string_view body = text.substr(2);
+  switch (text[0]) {
+    case 'i': {
+      FAIRSQG_ASSIGN_OR_RETURN(int64_t v, ParseInt64(body));
+      return AttrValue(v);
+    }
+    case 'd': {
+      FAIRSQG_ASSIGN_OR_RETURN(double v, ParseDouble(body));
+      return AttrValue(v);
+    }
+    case 's':
+      return AttrValue(std::string(body));
+    default:
+      return Status::InvalidArgument("bad value tag: '" + std::string(text) + "'");
+  }
+}
+
+Result<CompareOp> ParseOp(std::string_view text) {
+  if (text == ">") return CompareOp::kGt;
+  if (text == ">=") return CompareOp::kGe;
+  if (text == "=") return CompareOp::kEq;
+  if (text == "<=") return CompareOp::kLe;
+  if (text == "<") return CompareOp::kLt;
+  return Status::InvalidArgument("bad comparison op: '" + std::string(text) + "'");
+}
+
+Result<QNodeId> ParseNodeRef(std::string_view text, size_t num_nodes) {
+  if (text.size() < 2 || text[0] != 'u') {
+    return Status::InvalidArgument("bad node ref: '" + std::string(text) + "'");
+  }
+  FAIRSQG_ASSIGN_OR_RETURN(int64_t id, ParseInt64(text.substr(1)));
+  if (id < 0 || id >= static_cast<int64_t>(num_nodes)) {
+    return Status::InvalidArgument("node ref out of range: '" +
+                                   std::string(text) + "'");
+  }
+  return static_cast<QNodeId>(id);
+}
+
+}  // namespace
+
+Status WriteTemplateText(const QueryTemplate& tmpl, std::ostream& out) {
+  const Schema& schema = tmpl.schema();
+  out << "template\n";
+  for (QNodeId u = 0; u < tmpl.num_nodes(); ++u) {
+    out << "node u" << u << " " << schema.NodeLabelName(tmpl.node_label(u))
+        << "\n";
+  }
+  out << "output u" << tmpl.output_node() << "\n";
+  for (const QueryEdge& e : tmpl.edges()) {
+    out << (e.is_variable() ? "vedge" : "edge") << " u" << e.from << " u" << e.to
+        << " " << schema.EdgeLabelName(e.label) << "\n";
+  }
+  for (const LiteralTemplate& l : tmpl.literals()) {
+    out << "literal u" << l.node << " " << schema.AttrName(l.attr) << " "
+        << CompareOpToString(l.op) << " ";
+    if (l.is_variable()) {
+      out << "?";
+    } else {
+      out << EncodeValue(l.fixed_value);
+    }
+    out << "\n";
+  }
+  if (!out.good()) return Status::IoError("template write failed");
+  return Status::OK();
+}
+
+Status WriteTemplateFile(const QueryTemplate& tmpl, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  return WriteTemplateText(tmpl, out);
+}
+
+Result<QueryTemplate> ReadTemplateText(std::istream& in,
+                                       std::shared_ptr<Schema> schema) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("schema must not be null");
+  }
+  QueryTemplate tmpl(std::move(schema));
+  std::string line;
+  size_t line_no = 0;
+  bool saw_header = false;
+  bool saw_output = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view text = StripWhitespace(line);
+    if (text.empty() || text[0] == '#') continue;
+    auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) + ": " + why);
+    };
+    // Strip trailing comments.
+    size_t hash = text.find('#');
+    if (hash != std::string_view::npos) {
+      text = StripWhitespace(text.substr(0, hash));
+    }
+    std::vector<std::string_view> raw = SplitString(text, ' ');
+    std::vector<std::string_view> tok;
+    for (std::string_view t : raw) {
+      if (!t.empty()) tok.push_back(t);
+    }
+    if (tok.empty()) continue;
+
+    if (tok[0] == "template") {
+      saw_header = true;
+    } else if (tok[0] == "node") {
+      if (tok.size() != 3) return fail("node needs id and label");
+      std::string expected = "u" + std::to_string(tmpl.num_nodes());
+      if (tok[1] != expected) {
+        return fail("node ids must be dense; expected " + expected);
+      }
+      tmpl.AddNode(tok[2]);
+    } else if (tok[0] == "output") {
+      if (tok.size() != 2) return fail("output needs a node ref");
+      FAIRSQG_ASSIGN_OR_RETURN(QNodeId u, ParseNodeRef(tok[1], tmpl.num_nodes()));
+      tmpl.SetOutputNode(u);
+      saw_output = true;
+    } else if (tok[0] == "edge" || tok[0] == "vedge") {
+      if (tok.size() != 4) return fail("edge needs from, to and label");
+      FAIRSQG_ASSIGN_OR_RETURN(QNodeId from,
+                               ParseNodeRef(tok[1], tmpl.num_nodes()));
+      FAIRSQG_ASSIGN_OR_RETURN(QNodeId to, ParseNodeRef(tok[2], tmpl.num_nodes()));
+      if (tok[0] == "edge") {
+        tmpl.AddEdge(from, to, tok[3]);
+      } else {
+        tmpl.AddVariableEdge(from, to, tok[3]);
+      }
+    } else if (tok[0] == "literal") {
+      if (tok.size() != 5) return fail("literal needs node, attr, op, value");
+      FAIRSQG_ASSIGN_OR_RETURN(QNodeId u, ParseNodeRef(tok[1], tmpl.num_nodes()));
+      FAIRSQG_ASSIGN_OR_RETURN(CompareOp op, ParseOp(tok[3]));
+      if (tok[4] == "?") {
+        tmpl.AddRangeLiteral(u, tok[2], op);
+      } else {
+        FAIRSQG_ASSIGN_OR_RETURN(AttrValue value, DecodeValue(tok[4]));
+        tmpl.AddLiteral(u, tok[2], op, std::move(value));
+      }
+    } else {
+      return fail("unknown record '" + std::string(tok[0]) + "'");
+    }
+  }
+  if (!saw_header) return Status::InvalidArgument("missing 'template' header");
+  if (!saw_output && tmpl.num_nodes() > 1) {
+    return Status::InvalidArgument("missing 'output' line");
+  }
+  FAIRSQG_RETURN_NOT_OK(tmpl.Validate());
+  return tmpl;
+}
+
+Result<QueryTemplate> ReadTemplateFile(const std::string& path,
+                                       std::shared_ptr<Schema> schema) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  return ReadTemplateText(in, std::move(schema));
+}
+
+}  // namespace fairsqg

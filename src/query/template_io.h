@@ -1,0 +1,39 @@
+#ifndef FAIRSQG_QUERY_TEMPLATE_IO_H_
+#define FAIRSQG_QUERY_TEMPLATE_IO_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "query/query_template.h"
+
+namespace fairsqg {
+
+/// \brief Plain-text serialization of query templates, so workloads can be
+/// stored next to their graphs and replayed.
+///
+/// Line-oriented format (`#` comments allowed):
+/// \code
+///   template
+///   node u0 director
+///   node u1 user
+///   output u0
+///   edge u1 u0 recommend          # fixed edge
+///   vedge u1 u0 coReview          # edge with a Boolean variable
+///   literal u1 yearsOfExp >= ?    # range variable (allocation order)
+///   literal u0 domain = s:IT      # fixed literal (i:/d:/s: typed value)
+/// \endcode
+/// Node ids must be `u<k>` with k dense from 0; range/edge variable ids are
+/// assigned in declaration order, matching QueryTemplate's allocation.
+Status WriteTemplateText(const QueryTemplate& tmpl, std::ostream& out);
+Status WriteTemplateFile(const QueryTemplate& tmpl, const std::string& path);
+
+Result<QueryTemplate> ReadTemplateText(std::istream& in,
+                                       std::shared_ptr<Schema> schema);
+Result<QueryTemplate> ReadTemplateFile(const std::string& path,
+                                       std::shared_ptr<Schema> schema);
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_QUERY_TEMPLATE_IO_H_

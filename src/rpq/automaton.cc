@@ -1,0 +1,100 @@
+#include "rpq/automaton.h"
+
+#include <deque>
+
+#include "common/logging.h"
+
+namespace fairsqg {
+
+NfaState Nfa::AddState() {
+  transitions_.emplace_back();
+  return static_cast<NfaState>(transitions_.size() - 1);
+}
+
+void Nfa::AddTransition(NfaState from, NfaState to, LabelId label, bool inverse) {
+  transitions_[from].push_back({to, label, inverse});
+}
+
+std::pair<NfaState, NfaState> Nfa::BuildFragment(const RegexNode& node) {
+  switch (node.kind) {
+    case RegexNode::Kind::kLabel: {
+      NfaState in = AddState();
+      NfaState out = AddState();
+      AddTransition(in, out, node.label, node.inverse);
+      return {in, out};
+    }
+    case RegexNode::Kind::kConcat: {
+      auto [lin, lout] = BuildFragment(*node.children[0]);
+      auto [rin, rout] = BuildFragment(*node.children[1]);
+      AddTransition(lout, rin, kInvalidLabel, false);
+      return {lin, rout};
+    }
+    case RegexNode::Kind::kAlternate: {
+      NfaState in = AddState();
+      NfaState out = AddState();
+      auto [lin, lout] = BuildFragment(*node.children[0]);
+      auto [rin, rout] = BuildFragment(*node.children[1]);
+      AddTransition(in, lin, kInvalidLabel, false);
+      AddTransition(in, rin, kInvalidLabel, false);
+      AddTransition(lout, out, kInvalidLabel, false);
+      AddTransition(rout, out, kInvalidLabel, false);
+      return {in, out};
+    }
+    case RegexNode::Kind::kStar: {
+      NfaState in = AddState();
+      NfaState out = AddState();
+      auto [cin, cout] = BuildFragment(*node.children[0]);
+      AddTransition(in, cin, kInvalidLabel, false);
+      AddTransition(in, out, kInvalidLabel, false);
+      AddTransition(cout, cin, kInvalidLabel, false);
+      AddTransition(cout, out, kInvalidLabel, false);
+      return {in, out};
+    }
+    case RegexNode::Kind::kPlus: {
+      auto [cin, cout] = BuildFragment(*node.children[0]);
+      NfaState out = AddState();
+      AddTransition(cout, out, kInvalidLabel, false);
+      AddTransition(cout, cin, kInvalidLabel, false);
+      return {cin, out};
+    }
+    case RegexNode::Kind::kOptional: {
+      NfaState in = AddState();
+      NfaState out = AddState();
+      auto [cin, cout] = BuildFragment(*node.children[0]);
+      AddTransition(in, cin, kInvalidLabel, false);
+      AddTransition(in, out, kInvalidLabel, false);
+      AddTransition(cout, out, kInvalidLabel, false);
+      return {in, out};
+    }
+  }
+  FAIRSQG_CHECK(false) << "unknown regex node kind";
+  return {0, 0};
+}
+
+Nfa Nfa::Build(const RegexNode& root) {
+  Nfa nfa;
+  auto [in, out] = nfa.BuildFragment(root);
+  nfa.start_ = in;
+  nfa.accept_ = out;
+  return nfa;
+}
+
+void Nfa::EpsilonClose(std::vector<bool>* states) const {
+  FAIRSQG_CHECK(states->size() == num_states());
+  std::deque<NfaState> queue;
+  for (NfaState s = 0; s < num_states(); ++s) {
+    if ((*states)[s]) queue.push_back(s);
+  }
+  while (!queue.empty()) {
+    NfaState s = queue.front();
+    queue.pop_front();
+    for (const Transition& t : transitions_[s]) {
+      if (t.is_epsilon() && !(*states)[t.to]) {
+        (*states)[t.to] = true;
+        queue.push_back(t.to);
+      }
+    }
+  }
+}
+
+}  // namespace fairsqg

@@ -1,0 +1,57 @@
+#ifndef FAIRSQG_RPQ_AUTOMATON_H_
+#define FAIRSQG_RPQ_AUTOMATON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rpq/regex.h"
+
+namespace fairsqg {
+
+/// State index in an Nfa.
+using NfaState = uint32_t;
+
+/// \brief Nondeterministic finite automaton over edge-label transitions,
+/// built from a PathRegex by Thompson's construction.
+///
+/// A transition consumes one data edge with the given label, traversed
+/// forward or (inverse) backward; epsilon transitions consume nothing.
+class Nfa {
+ public:
+  struct Transition {
+    NfaState to;
+    LabelId label;   // kInvalidLabel for epsilon.
+    bool inverse;    // Traverse the data edge target->source.
+
+    bool is_epsilon() const { return label == kInvalidLabel; }
+  };
+
+  /// Thompson construction; the result has exactly one start and one
+  /// accept state.
+  static Nfa Build(const RegexNode& root);
+
+  size_t num_states() const { return transitions_.size(); }
+  NfaState start() const { return start_; }
+  NfaState accept() const { return accept_; }
+  const std::vector<Transition>& transitions_from(NfaState s) const {
+    return transitions_[s];
+  }
+
+  /// Expands `states` (a membership bitmap) to its epsilon closure in
+  /// place; `worklist` is scratch space.
+  void EpsilonClose(std::vector<bool>* states) const;
+
+ private:
+  NfaState AddState();
+  void AddTransition(NfaState from, NfaState to, LabelId label, bool inverse);
+  /// Recursive Thompson step; returns (entry, exit) states of the fragment.
+  std::pair<NfaState, NfaState> BuildFragment(const RegexNode& node);
+
+  std::vector<std::vector<Transition>> transitions_;
+  NfaState start_ = 0;
+  NfaState accept_ = 0;
+};
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_RPQ_AUTOMATON_H_

@@ -1,0 +1,180 @@
+#include "rpq/regex.h"
+
+#include <cctype>
+
+namespace fairsqg {
+
+namespace {
+
+/// Recursive-descent parser over the grammar in regex.h.
+class Parser {
+ public:
+  Parser(std::string_view text, Schema* schema) : text_(text), schema_(schema) {}
+
+  Result<std::unique_ptr<RegexNode>> Parse() {
+    FAIRSQG_ASSIGN_OR_RETURN(std::unique_ptr<RegexNode> expr, ParseExpr());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Fail("unexpected trailing input");
+    }
+    return expr;
+  }
+
+ private:
+  Status Fail(const std::string& why) const {
+    return Status::InvalidArgument("path regex, position " +
+                                   std::to_string(pos_) + ": " + why);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool Consume(char c) {
+    if (Peek(c)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  static bool IsLabelChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+  }
+
+  Result<std::unique_ptr<RegexNode>> ParseExpr() {
+    FAIRSQG_ASSIGN_OR_RETURN(std::unique_ptr<RegexNode> left, ParseTerm());
+    while (Consume('|')) {
+      FAIRSQG_ASSIGN_OR_RETURN(std::unique_ptr<RegexNode> right, ParseTerm());
+      auto node = std::make_unique<RegexNode>();
+      node->kind = RegexNode::Kind::kAlternate;
+      node->children.push_back(std::move(left));
+      node->children.push_back(std::move(right));
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  bool AtomAhead() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    return IsLabelChar(c) || c == '(' || c == '^';
+  }
+
+  Result<std::unique_ptr<RegexNode>> ParseTerm() {
+    FAIRSQG_ASSIGN_OR_RETURN(std::unique_ptr<RegexNode> left, ParseFactor());
+    for (;;) {
+      if (Consume('/')) {
+        // Explicit concatenation.
+      } else if (!AtomAhead()) {
+        break;
+      }
+      FAIRSQG_ASSIGN_OR_RETURN(std::unique_ptr<RegexNode> right, ParseFactor());
+      auto node = std::make_unique<RegexNode>();
+      node->kind = RegexNode::Kind::kConcat;
+      node->children.push_back(std::move(left));
+      node->children.push_back(std::move(right));
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<RegexNode>> ParseFactor() {
+    FAIRSQG_ASSIGN_OR_RETURN(std::unique_ptr<RegexNode> atom, ParseAtom());
+    SkipSpace();
+    if (pos_ < text_.size()) {
+      RegexNode::Kind kind;
+      bool quantified = true;
+      switch (text_[pos_]) {
+        case '*':
+          kind = RegexNode::Kind::kStar;
+          break;
+        case '+':
+          kind = RegexNode::Kind::kPlus;
+          break;
+        case '?':
+          kind = RegexNode::Kind::kOptional;
+          break;
+        default:
+          quantified = false;
+          kind = RegexNode::Kind::kStar;
+          break;
+      }
+      if (quantified) {
+        ++pos_;
+        auto node = std::make_unique<RegexNode>();
+        node->kind = kind;
+        node->children.push_back(std::move(atom));
+        return node;
+      }
+    }
+    return atom;
+  }
+
+  Result<std::unique_ptr<RegexNode>> ParseAtom() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("expected a label or '('");
+    if (Consume('(')) {
+      FAIRSQG_ASSIGN_OR_RETURN(std::unique_ptr<RegexNode> expr, ParseExpr());
+      if (!Consume(')')) return Fail("expected ')'");
+      return expr;
+    }
+    bool inverse = Consume('^');
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsLabelChar(text_[pos_])) ++pos_;
+    if (pos_ == start) return Fail("expected an edge label");
+    auto node = std::make_unique<RegexNode>();
+    node->kind = RegexNode::Kind::kLabel;
+    node->label = schema_->InternEdgeLabel(text_.substr(start, pos_ - start));
+    node->inverse = inverse;
+    return node;
+  }
+
+  std::string_view text_;
+  Schema* schema_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<PathRegex> ParsePathRegex(std::string_view text, Schema* schema) {
+  if (schema == nullptr) return Status::InvalidArgument("schema must be set");
+  Parser parser(text, schema);
+  FAIRSQG_ASSIGN_OR_RETURN(std::unique_ptr<RegexNode> root, parser.Parse());
+  PathRegex out;
+  out.text = RegexToString(*root, *schema);
+  out.root = std::move(root);
+  return out;
+}
+
+std::string RegexToString(const RegexNode& node, const Schema& schema) {
+  switch (node.kind) {
+    case RegexNode::Kind::kLabel:
+      return (node.inverse ? "^" : "") + schema.EdgeLabelName(node.label);
+    case RegexNode::Kind::kConcat:
+      return RegexToString(*node.children[0], schema) + "/" +
+             RegexToString(*node.children[1], schema);
+    case RegexNode::Kind::kAlternate:
+      return "(" + RegexToString(*node.children[0], schema) + "|" +
+             RegexToString(*node.children[1], schema) + ")";
+    case RegexNode::Kind::kStar:
+      return "(" + RegexToString(*node.children[0], schema) + ")*";
+    case RegexNode::Kind::kPlus:
+      return "(" + RegexToString(*node.children[0], schema) + ")+";
+    case RegexNode::Kind::kOptional:
+      return "(" + RegexToString(*node.children[0], schema) + ")?";
+  }
+  return "?";
+}
+
+}  // namespace fairsqg

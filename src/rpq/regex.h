@@ -1,0 +1,52 @@
+#ifndef FAIRSQG_RPQ_REGEX_H_
+#define FAIRSQG_RPQ_REGEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/schema.h"
+
+namespace fairsqg {
+
+/// \brief AST of a regular path expression over edge labels — the query
+/// class the paper names as a future extension (Section VI) and the one
+/// its benchmark-generation baseline [4] targets.
+///
+/// Grammar (2RPQ: labels may be traversed backwards with '^'):
+/// \code
+///   expr   := term ('|' term)*
+///   term   := factor factor*            (concatenation by juxtaposition
+///   factor := atom ('*' | '+' | '?')?    or explicit '/')
+///   atom   := label | '^' label | '(' expr ')'
+///   label  := [A-Za-z0-9_-]+
+/// \endcode
+struct RegexNode {
+  enum class Kind { kLabel, kConcat, kAlternate, kStar, kPlus, kOptional };
+
+  Kind kind = Kind::kLabel;
+  /// For kLabel: the edge label and traversal direction.
+  LabelId label = kInvalidLabel;
+  bool inverse = false;
+  /// Children: 2 for kConcat/kAlternate (left, right), 1 for the unary
+  /// quantifiers.
+  std::vector<std::unique_ptr<RegexNode>> children;
+};
+
+/// A parsed regular path expression plus its rendering.
+struct PathRegex {
+  std::unique_ptr<RegexNode> root;
+  std::string text;
+};
+
+/// \brief Parses `text` into a PathRegex, interning labels into `schema`.
+/// Whitespace between tokens is ignored.
+Result<PathRegex> ParsePathRegex(std::string_view text, Schema* schema);
+
+/// Renders the AST back to a normalized expression string.
+std::string RegexToString(const RegexNode& node, const Schema& schema);
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_RPQ_REGEX_H_

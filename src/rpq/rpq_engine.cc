@@ -1,0 +1,75 @@
+#include "rpq/rpq_engine.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace fairsqg {
+
+NodeSet RpqEngine::ProductBfs(const Nfa& nfa, const NodeSet& sources) const {
+  const size_t num_states = nfa.num_states();
+  // visited[v * num_states + s]: product node (v, s) reached.
+  std::vector<bool> visited(g_->num_nodes() * num_states, false);
+  std::deque<std::pair<NodeId, NfaState>> queue;
+
+  auto visit = [&](NodeId v, NfaState s) {
+    size_t idx = static_cast<size_t>(v) * num_states + s;
+    if (!visited[idx]) {
+      visited[idx] = true;
+      queue.emplace_back(v, s);
+    }
+  };
+
+  for (NodeId v : sources) {
+    if (v < g_->num_nodes()) visit(v, nfa.start());
+  }
+  while (!queue.empty()) {
+    auto [v, s] = queue.front();
+    queue.pop_front();
+    for (const Nfa::Transition& t : nfa.transitions_from(s)) {
+      if (t.is_epsilon()) {
+        visit(v, t.to);
+        continue;
+      }
+      auto adjacency = t.inverse ? g_->InEdges(v) : g_->OutEdges(v);
+      for (const AdjEntry& e : adjacency) {
+        if (e.edge_label == t.label) visit(e.neighbor, t.to);
+      }
+    }
+  }
+
+  NodeSet out;
+  for (NodeId v = 0; v < g_->num_nodes(); ++v) {
+    if (visited[static_cast<size_t>(v) * num_states + nfa.accept()]) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+NodeSet RpqEngine::ReachableFrom(const PathRegex& regex, NodeId source) const {
+  return ReachableFromAny(regex, {source});
+}
+
+NodeSet RpqEngine::ReachableFromAny(const PathRegex& regex,
+                                    const NodeSet& sources) const {
+  Nfa nfa = Nfa::Build(*regex.root);
+  return ProductBfs(nfa, sources);
+}
+
+std::vector<std::pair<NodeId, NodeId>> RpqEngine::EvaluateAll(
+    const PathRegex& regex, LabelId source_label, size_t max_pairs) const {
+  Nfa nfa = Nfa::Build(*regex.root);
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (NodeId v = 0; v < g_->num_nodes(); ++v) {
+    if (source_label != kInvalidLabel && g_->node_label(v) != source_label) {
+      continue;
+    }
+    for (NodeId target : ProductBfs(nfa, {v})) {
+      out.emplace_back(v, target);
+      if (max_pairs > 0 && out.size() >= max_pairs) return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace fairsqg

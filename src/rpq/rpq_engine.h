@@ -1,0 +1,50 @@
+#ifndef FAIRSQG_RPQ_RPQ_ENGINE_H_
+#define FAIRSQG_RPQ_RPQ_ENGINE_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "rpq/automaton.h"
+
+namespace fairsqg {
+
+/// \brief Regular-path-query evaluation over attributed graphs: BFS on the
+/// product of the data graph and the expression's NFA.
+///
+/// RPQs are the query class the paper's benchmark baseline [4] generates
+/// for and the extension its conclusion names. Combined with the library's
+/// measures, RPQ answers can be scored for diversity and group coverage
+/// exactly like subgraph-query answers (see EvaluateRpqAnswer in
+/// core/... examples and the rpq tests).
+class RpqEngine {
+ public:
+  explicit RpqEngine(const Graph& g) : g_(&g) {}
+
+  /// Nodes reachable from `source` along a path matching `regex`.
+  /// Includes `source` itself only if the empty path matches.
+  NodeSet ReachableFrom(const PathRegex& regex, NodeId source) const;
+
+  /// Union of ReachableFrom over all `sources` (deduplicated, sorted).
+  /// Shares one product-BFS, so it is much cheaper than per-source calls.
+  NodeSet ReachableFromAny(const PathRegex& regex, const NodeSet& sources) const;
+
+  /// All (source, target) pairs with source label `source_label` (or any
+  /// node when kInvalidLabel) matching the expression; stops after
+  /// `max_pairs` results (0 = unlimited). Sorted lexicographically.
+  std::vector<std::pair<NodeId, NodeId>> EvaluateAll(
+      const PathRegex& regex, LabelId source_label = kInvalidLabel,
+      size_t max_pairs = 0) const;
+
+ private:
+  /// Product BFS from `sources` all starting in the NFA start state;
+  /// returns the set of data nodes observed in the accept state.
+  NodeSet ProductBfs(const Nfa& nfa, const NodeSet& sources) const;
+
+  const Graph* g_;
+};
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_RPQ_RPQ_ENGINE_H_

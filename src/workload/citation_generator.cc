@@ -1,0 +1,85 @@
+#include "workload/citation_generator.h"
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph_builder.h"
+
+namespace fairsqg {
+
+namespace {
+
+const char* kTopics[] = {"machine-learning", "databases",  "networking",
+                         "security",         "systems",    "theory",
+                         "graphics",         "hci"};
+
+}  // namespace
+
+Result<Graph> GenerateCitationGraph(const CitationParams& params,
+                                    std::shared_ptr<Schema> schema) {
+  if (params.num_papers == 0 || params.num_authors == 0) {
+    return Status::InvalidArgument("citation graph needs papers and authors");
+  }
+  Rng rng(params.seed);
+  GraphBuilder b(std::move(schema));
+
+  std::vector<NodeId> papers;
+  papers.reserve(params.num_papers);
+  // Papers are created in chronological order; citations point backwards.
+  for (size_t i = 0; i < params.num_papers; ++i) {
+    NodeId v = b.AddNode("paper");
+    int64_t year =
+        1990 + static_cast<int64_t>((i * 33) / params.num_papers) +
+        rng.NextInRange(0, 1);
+    b.SetAttr(v, "year", AttrValue(year));
+    b.SetAttr(v, "topic", AttrValue(std::string(kTopics[rng.NextZipf(8, 0.8)])));
+    b.SetAttr(v, "venueRank", AttrValue(static_cast<int64_t>(1 + rng.NextZipf(5, 0.7))));
+    papers.push_back(v);
+  }
+
+  std::vector<NodeId> authors;
+  authors.reserve(params.num_authors);
+  for (size_t i = 0; i < params.num_authors; ++i) {
+    NodeId v = b.AddNode("author");
+    b.SetAttr(v, "hIndex", AttrValue(static_cast<int64_t>(rng.NextZipf(60, 1.0))));
+    b.SetAttr(v, "affiliationRank",
+              AttrValue(static_cast<int64_t>(1 + rng.NextZipf(100, 0.8))));
+    authors.push_back(v);
+  }
+
+  // Preferential-attachment citations to earlier papers; count in-degree to
+  // derive a consistent numberOfCitations attribute.
+  std::vector<int64_t> in_citations(params.num_papers, 0);
+  std::vector<size_t> target_pool;  // Indexes into `papers`.
+  target_pool.reserve(params.num_papers * 4);
+  for (size_t i = 1; i < params.num_papers; ++i) {
+    target_pool.push_back(i - 1);
+    size_t cites = rng.NextBounded(
+        static_cast<uint64_t>(2 * params.avg_citations) + 1);
+    for (size_t c = 0; c < cites; ++c) {
+      size_t target = target_pool[rng.NextBounded(target_pool.size())];
+      if (target == i) continue;
+      b.AddEdge(papers[i], papers[target], "cites");
+      ++in_citations[target];
+      target_pool.push_back(target);  // Rich get richer.
+    }
+  }
+  for (size_t i = 0; i < params.num_papers; ++i) {
+    b.SetAttr(papers[i], "numberOfCitations", AttrValue(in_citations[i]));
+  }
+
+  // Authorship: Zipf-prolific authors.
+  for (size_t i = 0; i < params.num_papers; ++i) {
+    size_t n_auth = 1 + rng.NextBounded(
+        static_cast<uint64_t>(2 * params.avg_authors));
+    for (size_t a = 0; a < n_auth; ++a) {
+      b.AddEdge(papers[i], authors[rng.NextZipf(authors.size(), 0.9)],
+                "authoredBy");
+    }
+  }
+
+  return std::move(b).Build();
+}
+
+}  // namespace fairsqg

@@ -1,0 +1,32 @@
+#ifndef FAIRSQG_WORKLOAD_CITATION_GENERATOR_H_
+#define FAIRSQG_WORKLOAD_CITATION_GENERATOR_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace fairsqg {
+
+/// Parameters of the Cite-like academic graph.
+struct CitationParams {
+  size_t num_papers = 7000;
+  size_t num_authors = 2500;
+  double avg_citations = 5.0;  ///< cites edges per paper.
+  double avg_authors = 2.5;    ///< authoredBy edges per paper.
+  uint64_t seed = 42;
+};
+
+/// \brief Generates the Cite substitute: a citation/authorship graph for
+/// diversified, fair academic recommendation.
+///
+/// Papers carry numberOfCitations (power-law, consistent with the in-degree
+/// skew), year, venueRank and topic (8 areas); authors carry hIndex and
+/// affiliationRank. Relations: cites (paper -> earlier paper, preferential)
+/// and authoredBy (paper -> author, Zipf-prolific). Deterministic per seed.
+Result<Graph> GenerateCitationGraph(const CitationParams& params,
+                                    std::shared_ptr<Schema> schema);
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_WORKLOAD_CITATION_GENERATOR_H_

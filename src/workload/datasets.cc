@@ -1,0 +1,64 @@
+#include "workload/datasets.h"
+
+#include <cmath>
+
+#include "workload/citation_generator.h"
+#include "workload/movie_kg_generator.h"
+#include "workload/social_net_generator.h"
+
+namespace fairsqg {
+
+namespace {
+
+size_t Scaled(size_t base, double scale) {
+  size_t v = static_cast<size_t>(std::llround(static_cast<double>(base) * scale));
+  return v > 0 ? v : 1;
+}
+
+Dataset Finish(const std::string& name, std::shared_ptr<Schema> schema, Graph graph,
+               const char* output_label, const char* group_attr,
+               size_t max_groups) {
+  LabelId label = schema->NodeLabelId(output_label);
+  AttrId attr = schema->AttrIdOf(group_attr);
+  return Dataset{name, std::move(schema), std::move(graph), label, attr,
+                 max_groups};
+}
+
+}  // namespace
+
+Result<Dataset> MakeDataset(const std::string& name, double scale, uint64_t seed) {
+  if (scale <= 0) return Status::InvalidArgument("scale must be positive");
+  auto schema = std::make_shared<Schema>();
+
+  if (name == "dbp") {
+    MovieKgParams p;
+    p.num_movies = Scaled(p.num_movies, scale);
+    p.num_directors = Scaled(p.num_directors, scale);
+    p.num_actors = Scaled(p.num_actors, scale);
+    p.num_studios = Scaled(p.num_studios, scale);
+    p.seed = seed;
+    FAIRSQG_ASSIGN_OR_RETURN(Graph g, GenerateMovieKg(p, schema));
+    return Finish(name, std::move(schema), std::move(g), "movie", "genre", 5);
+  }
+  if (name == "lki") {
+    SocialNetParams p;
+    p.num_users = Scaled(p.num_users, scale);
+    p.num_directors = Scaled(p.num_directors, scale);
+    p.num_orgs = Scaled(p.num_orgs, scale);
+    p.seed = seed;
+    FAIRSQG_ASSIGN_OR_RETURN(Graph g, GenerateSocialNetwork(p, schema));
+    return Finish(name, std::move(schema), std::move(g), "director", "gender", 2);
+  }
+  if (name == "cite") {
+    CitationParams p;
+    p.num_papers = Scaled(p.num_papers, scale);
+    p.num_authors = Scaled(p.num_authors, scale);
+    p.seed = seed;
+    FAIRSQG_ASSIGN_OR_RETURN(Graph g, GenerateCitationGraph(p, schema));
+    return Finish(name, std::move(schema), std::move(g), "paper", "topic", 4);
+  }
+  return Status::InvalidArgument("unknown dataset '" + name +
+                                 "'; expected dbp, lki, or cite");
+}
+
+}  // namespace fairsqg

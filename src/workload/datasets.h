@@ -1,0 +1,39 @@
+#ifndef FAIRSQG_WORKLOAD_DATASETS_H_
+#define FAIRSQG_WORKLOAD_DATASETS_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace fairsqg {
+
+/// \brief A named benchmark dataset: the synthetic stand-in for one of the
+/// paper's real-life graphs (Table II), plus the conventions the paper's
+/// scenarios use on it (output label, grouping attribute).
+struct Dataset {
+  std::string name;
+  std::shared_ptr<Schema> schema;
+  Graph graph;
+  /// Output-node label of the dataset's canonical search scenario.
+  LabelId output_label = kInvalidLabel;
+  /// Categorical attribute the paper induces groups from.
+  AttrId group_attr = kInvalidAttr;
+  /// Upper bound on |P| used in the paper for this dataset.
+  size_t max_groups = 2;
+};
+
+/// \brief Builds a dataset by paper name: "dbp" (movie KG, genre groups),
+/// "lki" (talent network, gender groups), or "cite" (citation graph, topic
+/// groups). `scale` multiplies every node population (1.0 ~ 10-15k nodes);
+/// generation is deterministic per (name, scale, seed).
+Result<Dataset> MakeDataset(const std::string& name, double scale = 1.0,
+                            uint64_t seed = 42);
+
+/// Names accepted by MakeDataset.
+inline const char* kDatasetNames[] = {"dbp", "lki", "cite"};
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_WORKLOAD_DATASETS_H_

@@ -1,0 +1,35 @@
+#include "workload/instance_stream.h"
+
+namespace fairsqg {
+
+InstanceStream::InstanceStream(const QueryTemplate& tmpl,
+                               const VariableDomains& domains, uint64_t seed,
+                               bool dedup)
+    : tmpl_(&tmpl),
+      domains_(&domains),
+      rng_(seed),
+      dedup_(dedup),
+      space_size_(domains.InstanceSpaceSize(tmpl)) {}
+
+bool InstanceStream::Next(Instantiation* out) {
+  if (dedup_ && seen_.size() >= space_size_) return false;
+  for (;;) {
+    std::vector<int32_t> range(tmpl_->num_range_vars());
+    for (RangeVarId x = 0; x < tmpl_->num_range_vars(); ++x) {
+      // Uniform over {wildcard, 0, ..., |dom|-1}.
+      range[x] = static_cast<int32_t>(
+                     rng_.NextBounded(domains_->size(x) + 1)) - 1;
+    }
+    std::vector<uint8_t> edge(tmpl_->num_edge_vars());
+    for (EdgeVarId x = 0; x < tmpl_->num_edge_vars(); ++x) {
+      edge[x] = static_cast<uint8_t>(rng_.NextBounded(2));
+    }
+    Instantiation inst(std::move(range), std::move(edge));
+    if (dedup_ && !seen_.insert(inst).second) continue;
+    *out = std::move(inst);
+    ++emitted_;
+    return true;
+  }
+}
+
+}  // namespace fairsqg

@@ -1,0 +1,41 @@
+#ifndef FAIRSQG_WORKLOAD_INSTANCE_STREAM_H_
+#define FAIRSQG_WORKLOAD_INSTANCE_STREAM_H_
+
+#include <unordered_set>
+
+#include "common/random.h"
+#include "query/instantiation.h"
+
+namespace fairsqg {
+
+/// \brief A stream of randomly instantiated query instances (Section IV-C:
+/// "simulate instance streams by randomly instantiating fixed query
+/// templates"), feeding OnlineQGen.
+///
+/// Each range variable draws uniformly from {wildcard} ∪ its domain, each
+/// edge variable from {0, 1}. With dedup enabled, the stream ends once the
+/// whole space I(Q) has been emitted.
+class InstanceStream {
+ public:
+  InstanceStream(const QueryTemplate& tmpl, const VariableDomains& domains,
+                 uint64_t seed, bool dedup = false);
+
+  /// Emits the next instantiation; false only when dedup is on and the
+  /// instance space is exhausted.
+  bool Next(Instantiation* out);
+
+  size_t emitted() const { return emitted_; }
+
+ private:
+  const QueryTemplate* tmpl_;
+  const VariableDomains* domains_;
+  Rng rng_;
+  bool dedup_;
+  size_t space_size_;
+  size_t emitted_ = 0;
+  std::unordered_set<Instantiation, Instantiation::Hasher> seen_;
+};
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_WORKLOAD_INSTANCE_STREAM_H_

@@ -1,0 +1,94 @@
+#include "workload/movie_kg_generator.h"
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph_builder.h"
+
+namespace fairsqg {
+
+namespace {
+
+const char* kGenres[] = {"action",  "romance",   "horror",  "comedy",
+                         "drama",   "thriller",  "scifi",   "animation",
+                         "fantasy", "documentary", "crime", "western"};
+
+const char* kCountries[] = {"usa",    "uk",    "france", "india", "japan",
+                            "korea",  "china", "germany", "italy", "brazil"};
+
+}  // namespace
+
+Result<Graph> GenerateMovieKg(const MovieKgParams& params,
+                              std::shared_ptr<Schema> schema) {
+  if (params.num_movies == 0 || params.num_directors == 0 ||
+      params.num_actors == 0 || params.num_studios == 0) {
+    return Status::InvalidArgument("movie KG needs all node populations");
+  }
+  Rng rng(params.seed);
+  GraphBuilder b(std::move(schema));
+
+  std::vector<NodeId> movies;
+  movies.reserve(params.num_movies);
+  for (size_t i = 0; i < params.num_movies; ++i) {
+    NodeId v = b.AddNode("movie");
+    // One-decimal ratings in [3.0, 9.5]; mid ratings most common.
+    int64_t tenth = 30 + rng.NextInRange(0, 65);
+    int64_t tenth2 = 30 + rng.NextInRange(0, 65);
+    b.SetAttr(v, "rating", AttrValue(static_cast<double>((tenth + tenth2) / 2) / 10.0));
+    b.SetAttr(v, "year", AttrValue(1950 + rng.NextInRange(0, 73)));
+    b.SetAttr(v, "votes",
+              AttrValue(static_cast<int64_t>((rng.NextZipf(1000, 1.1) + 1) * 100)));
+    b.SetAttr(v, "genre", AttrValue(std::string(kGenres[rng.NextZipf(12, 1.15)])));
+    b.SetAttr(v, "country",
+              AttrValue(std::string(kCountries[rng.NextZipf(10, 0.9)])));
+    movies.push_back(v);
+  }
+
+  std::vector<NodeId> directors;
+  directors.reserve(params.num_directors);
+  for (size_t i = 0; i < params.num_directors; ++i) {
+    NodeId v = b.AddNode("director");
+    b.SetAttr(v, "awardsWon", AttrValue(static_cast<int64_t>(rng.NextZipf(8, 1.0))));
+    b.SetAttr(v, "country",
+              AttrValue(std::string(kCountries[rng.NextZipf(10, 0.9)])));
+    directors.push_back(v);
+  }
+
+  std::vector<NodeId> actors;
+  actors.reserve(params.num_actors);
+  for (size_t i = 0; i < params.num_actors; ++i) {
+    NodeId v = b.AddNode("actor");
+    b.SetAttr(v, "awardsWon", AttrValue(static_cast<int64_t>(rng.NextZipf(6, 1.2))));
+    b.SetAttr(v, "country",
+              AttrValue(std::string(kCountries[rng.NextZipf(10, 0.9)])));
+    actors.push_back(v);
+  }
+
+  std::vector<NodeId> studios;
+  studios.reserve(params.num_studios);
+  for (size_t i = 0; i < params.num_studios; ++i) {
+    NodeId v = b.AddNode("studio");
+    b.SetAttr(v, "founded", AttrValue(1910 + rng.NextInRange(0, 100)));
+    b.SetAttr(v, "size", AttrValue(static_cast<int64_t>(10 + rng.NextZipf(500, 0.9))));
+    studios.push_back(v);
+  }
+
+  // Every movie has a director (Zipf-prolific), a producing studio, and a
+  // Zipf-popular cast.
+  for (NodeId m : movies) {
+    NodeId d = directors[rng.NextZipf(directors.size(), 0.8)];
+    b.AddEdge(d, m, "directed");
+    b.AddEdge(m, studios[rng.NextZipf(studios.size(), 0.9)], "producedBy");
+    size_t cast = 1 + rng.NextBounded(static_cast<uint64_t>(2 * params.avg_cast));
+    for (size_t i = 0; i < cast; ++i) {
+      NodeId a = actors[rng.NextZipf(actors.size(), 0.9)];
+      b.AddEdge(m, a, "starring");
+      if (rng.NextBernoulli(0.15)) b.AddEdge(d, a, "collaboratedWith");
+    }
+  }
+
+  return std::move(b).Build();
+}
+
+}  // namespace fairsqg

@@ -1,0 +1,34 @@
+#ifndef FAIRSQG_WORKLOAD_MOVIE_KG_GENERATOR_H_
+#define FAIRSQG_WORKLOAD_MOVIE_KG_GENERATOR_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace fairsqg {
+
+/// Parameters of the DBP-like movie knowledge graph.
+struct MovieKgParams {
+  size_t num_movies = 6000;
+  size_t num_directors = 1200;
+  size_t num_actors = 3000;
+  size_t num_studios = 200;
+  double avg_cast = 3.0;  ///< starring edges per movie.
+  uint64_t seed = 42;
+};
+
+/// \brief Generates the DBP substitute: a movie knowledge graph for the
+/// Fig. 12 movie-search case study and the genre/country group scenarios.
+///
+/// Movies carry rating (3.0-9.5, one decimal), year, votes (Zipf), genre
+/// (12 values) and country (10 values); directors/actors carry
+/// awardsWon and country; studios carry founded/size. Relations: directed
+/// (director -> movie), starring (movie -> actor), producedBy (movie ->
+/// studio), collaboratedWith (director -> actor). Deterministic per seed.
+Result<Graph> GenerateMovieKg(const MovieKgParams& params,
+                              std::shared_ptr<Schema> schema);
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_WORKLOAD_MOVIE_KG_GENERATOR_H_

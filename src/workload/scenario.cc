@@ -1,0 +1,119 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "matching/subgraph_matcher.h"
+#include "workload/template_generator.h"
+
+namespace fairsqg {
+
+namespace {
+
+/// Minimum per-group coverage of `matches`; 0 when any group is missed.
+size_t MinGroupCoverage(const GroupSet& groups, const NodeSet& matches) {
+  std::vector<size_t> counts = groups.CoverageCounts(matches);
+  size_t m = counts.empty() ? 0 : counts[0];
+  for (size_t c : counts) m = std::min(m, c);
+  return m;
+}
+
+bool Feasible(const GroupSet& groups, const NodeSet& matches) {
+  std::vector<size_t> counts = groups.CoverageCounts(matches);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] < groups.constraint(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Scenario> MakeScenario(const ScenarioOptions& options) {
+  FAIRSQG_ASSIGN_OR_RETURN(
+      Dataset dataset, MakeDataset(options.dataset, options.scale, options.seed));
+  Scenario s{std::move(dataset), nullptr, nullptr, nullptr};
+
+  if (options.num_groups == 0) {
+    return Status::InvalidArgument("need at least one group");
+  }
+  const bool calibrate =
+      options.coverage_fraction > 0 && options.coverage_fraction <= 1.0;
+  size_t per_group = options.total_coverage / options.num_groups;
+  if (!calibrate && per_group == 0) {
+    return Status::InvalidArgument("total_coverage below num_groups");
+  }
+  // Group node sets; constraints are provisional when calibrating.
+  FAIRSQG_ASSIGN_OR_RETURN(
+      GroupSet base_groups,
+      GroupSet::FromCategoricalAttr(s.dataset.graph, s.dataset.output_label,
+                                    s.dataset.group_attr, options.num_groups,
+                                    calibrate ? 0 : per_group));
+
+  // Redraw templates until the most relaxed instance is feasible; by
+  // Lemma 2 an infeasible root makes the whole instance space infeasible.
+  SubgraphMatcher matcher(s.dataset.graph);
+  for (size_t attempt = 0; attempt < options.max_template_attempts; ++attempt) {
+    TemplateSpec spec;
+    spec.output_label = s.dataset.output_label;
+    spec.num_edges = options.num_edges;
+    spec.num_range_vars = options.num_range_vars;
+    spec.num_edge_vars = options.num_edge_vars;
+    spec.seed = options.template_seed + attempt * 7919;
+    Result<QueryTemplate> tmpl_or = GenerateTemplate(s.dataset.graph, spec);
+    if (!tmpl_or.ok()) continue;
+    QueryTemplate tmpl = std::move(tmpl_or).ValueOrDie();
+
+    FAIRSQG_ASSIGN_OR_RETURN(VariableDomains full,
+                             VariableDomains::Build(s.dataset.graph, tmpl));
+    VariableDomains domains = full.Coarsened(options.max_domain_values);
+
+    QueryInstance root = QueryInstance::Materialize(
+        tmpl, domains, Instantiation::MostRelaxed(tmpl));
+    NodeSet root_matches = matcher.MatchOutput(root);
+
+    GroupSet groups = base_groups;
+    if (calibrate) {
+      QueryInstance bottom = QueryInstance::Materialize(
+          tmpl, domains, Instantiation::MostRefined(tmpl, domains));
+      NodeSet bottom_matches = matcher.MatchOutput(bottom);
+      size_t m = MinGroupCoverage(groups, bottom_matches);
+      size_t big = MinGroupCoverage(groups, root_matches);
+      if (big < 2) continue;  // Too few matches for a meaningful target.
+      double c_target = static_cast<double>(m) +
+                        options.coverage_fraction *
+                            static_cast<double>(big - std::min(m, big));
+      size_t c = std::max<size_t>(1, static_cast<size_t>(std::llround(c_target)));
+      std::vector<NodeSet> sets;
+      std::vector<size_t> constraints;
+      bool ok = true;
+      for (size_t i = 0; i < groups.num_groups(); ++i) {
+        if (c > groups.group(i).size()) {
+          ok = false;
+          break;
+        }
+        sets.push_back(groups.group(i));
+        constraints.push_back(c);
+      }
+      if (!ok) continue;
+      Result<GroupSet> rebuilt = GroupSet::Create(
+          s.dataset.graph.num_nodes(), std::move(sets), std::move(constraints));
+      if (!rebuilt.ok()) continue;
+      for (size_t i = 0; i < groups.num_groups(); ++i) {
+        rebuilt->set_name(i, groups.name(i));
+      }
+      groups = std::move(rebuilt).ValueOrDie();
+    }
+
+    if (!Feasible(groups, root_matches)) continue;
+
+    s.tmpl = std::make_unique<QueryTemplate>(std::move(tmpl));
+    s.domains = std::make_unique<VariableDomains>(std::move(domains));
+    s.groups = std::make_unique<GroupSet>(std::move(groups));
+    return s;
+  }
+  return Status::FailedPrecondition(
+      "no feasible template found for dataset '" + options.dataset +
+      "'; lower total_coverage or template size");
+}
+
+}  // namespace fairsqg

@@ -1,0 +1,77 @@
+#ifndef FAIRSQG_WORKLOAD_SCENARIO_H_
+#define FAIRSQG_WORKLOAD_SCENARIO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/config.h"
+#include "core/groups.h"
+#include "query/domains.h"
+#include "query/query_template.h"
+#include "workload/datasets.h"
+
+namespace fairsqg {
+
+/// Knobs of a full experiment setup, mirroring the parameter columns of the
+/// paper's Table II and the per-figure settings of Section V.
+struct ScenarioOptions {
+  std::string dataset = "dbp";
+  double scale = 1.0;
+  uint64_t seed = 42;
+
+  /// |Q(u_o)| in edges, |X_L|, |X_E| (Table II: |Q| 3-5, |X| 3-5).
+  size_t num_edges = 3;
+  size_t num_range_vars = 2;
+  size_t num_edge_vars = 1;
+
+  /// |P| groups with equal-opportunity split of C.
+  size_t num_groups = 2;
+  size_t total_coverage = 40;  ///< C (paper uses 100-800 at 1M-5M nodes).
+
+  /// When in (0, 1], ignore total_coverage and calibrate the per-group
+  /// target c to the template's own match sizes:
+  ///   c = m + coverage_fraction * (M - m),
+  /// with m (M) the minimum per-group coverage of the most refined (most
+  /// relaxed) instance. This puts the feasibility border inside the
+  /// lattice and spreads f over (0, C] — the paper achieves the same by
+  /// hand-tuning C per dataset. -1 disables calibration.
+  double coverage_fraction = -1.0;
+
+  /// Domain coarsening cap per range variable (controls |I(Q)|; the
+  /// paper's largest spaces are 800-1400 instances).
+  size_t max_domain_values = 8;
+
+  uint64_t template_seed = 1;
+  /// Template re-draws until the most relaxed instance is feasible.
+  size_t max_template_attempts = 40;
+};
+
+/// \brief Everything one experiment needs, with stable addresses for
+/// QGenConfig's non-owning pointers.
+struct Scenario {
+  Dataset dataset;
+  std::unique_ptr<QueryTemplate> tmpl;
+  std::unique_ptr<VariableDomains> domains;
+  std::unique_ptr<GroupSet> groups;
+
+  /// A ready-to-run configuration over this scenario's members.
+  QGenConfig MakeConfig(double epsilon = 0.01) const {
+    QGenConfig config;
+    config.graph = &dataset.graph;
+    config.tmpl = tmpl.get();
+    config.domains = domains.get();
+    config.groups = groups.get();
+    config.epsilon = epsilon;
+    return config;
+  }
+};
+
+/// \brief Builds dataset + groups + template + coarsened domains, redrawing
+/// templates until the most relaxed instance is feasible (the paper
+/// "ensure[s] the existence of feasible query instances" the same way).
+Result<Scenario> MakeScenario(const ScenarioOptions& options);
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_WORKLOAD_SCENARIO_H_

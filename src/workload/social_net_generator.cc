@@ -1,0 +1,119 @@
+#include "workload/social_net_generator.h"
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph_builder.h"
+
+namespace fairsqg {
+
+namespace {
+
+const char* kMajors[] = {
+    "computer-science", "electrical-eng", "mechanical-eng", "mathematics",
+    "physics",          "economics",      "business",       "statistics",
+    "biology",          "chemistry",      "design",         "psychology",
+    "marketing",        "finance",        "accounting",     "philosophy",
+    "linguistics",      "civil-eng",      "chemical-eng",   "data-science",
+    "law",              "medicine",       "history",        "music"};
+
+const char* kSectors[] = {"IT", "finance", "health", "retail",
+                          "manufacturing", "education", "media", "energy"};
+
+// Employee-count ladder (the Fig. 1 predicate `employees >= x` ranges over
+// these buckets).
+const int64_t kEmployeeBuckets[] = {10,   25,   50,   100,  250,  500,
+                                    1000, 2500, 5000, 10000, 25000, 50000};
+
+/// Skewed years of experience in [0, 30]: most people are early-career.
+int64_t SampleYearsOfExp(Rng* rng) {
+  return static_cast<int64_t>(rng->NextZipf(31, 0.6));
+}
+
+void FillPerson(GraphBuilder* b, Rng* rng, NodeId v, double female_ratio) {
+  b->SetAttr(v, "yearsOfExp", AttrValue(SampleYearsOfExp(rng)));
+  b->SetAttr(v, "major",
+             AttrValue(std::string(kMajors[rng->NextZipf(24, 1.05)])));
+  b->SetAttr(v, "gender", AttrValue(std::string(
+                              rng->NextBernoulli(female_ratio) ? "female" : "male")));
+  b->SetAttr(v, "salaryBand",
+             AttrValue(static_cast<int64_t>(1 + rng->NextBounded(10))));
+}
+
+}  // namespace
+
+Result<Graph> GenerateSocialNetwork(const SocialNetParams& params,
+                                    std::shared_ptr<Schema> schema) {
+  if (params.num_users == 0 || params.num_directors == 0 || params.num_orgs == 0) {
+    return Status::InvalidArgument("social network needs users, directors, orgs");
+  }
+  Rng rng(params.seed);
+  GraphBuilder b(std::move(schema));
+
+  std::vector<NodeId> users;
+  users.reserve(params.num_users);
+  for (size_t i = 0; i < params.num_users; ++i) {
+    NodeId v = b.AddNode("user");
+    FillPerson(&b, &rng, v, params.female_ratio);
+    users.push_back(v);
+  }
+  std::vector<NodeId> directors;
+  directors.reserve(params.num_directors);
+  for (size_t i = 0; i < params.num_directors; ++i) {
+    NodeId v = b.AddNode("director");
+    FillPerson(&b, &rng, v, params.female_ratio);
+    // Directors skew senior.
+    b.SetAttr(v, "yearsOfExp",
+              AttrValue(static_cast<int64_t>(5 + rng.NextZipf(26, 0.5))));
+    directors.push_back(v);
+  }
+  std::vector<NodeId> orgs;
+  orgs.reserve(params.num_orgs);
+  for (size_t i = 0; i < params.num_orgs; ++i) {
+    NodeId v = b.AddNode("org");
+    b.SetAttr(v, "employees",
+              AttrValue(kEmployeeBuckets[rng.NextZipf(12, 0.8)]));
+    b.SetAttr(v, "sector", AttrValue(std::string(kSectors[rng.NextZipf(8, 0.9)])));
+    orgs.push_back(v);
+  }
+
+  // Everyone works at exactly one org; org popularity is Zipf.
+  auto work_org = [&]() { return orgs[rng.NextZipf(orgs.size(), 1.0)]; };
+  for (NodeId u : users) b.AddEdge(u, work_org(), "worksAt");
+  for (NodeId d : directors) b.AddEdge(d, work_org(), "worksAt");
+
+  // Recommendations: preferential attachment — targets repeat-sampled from
+  // a growing pool so popular people accumulate endorsements. Half of the
+  // target pool mass starts on directors so the talent-search template has
+  // matches.
+  std::vector<NodeId> pool;
+  pool.reserve(users.size() * 2);
+  for (NodeId d : directors) {
+    pool.push_back(d);
+    pool.push_back(d);
+  }
+  for (NodeId u : users) pool.push_back(u);
+  size_t num_rec = static_cast<size_t>(
+      params.avg_recommendations *
+      static_cast<double>(users.size() + directors.size()));
+  for (size_t i = 0; i < num_rec; ++i) {
+    NodeId from = users[rng.NextBounded(users.size())];
+    NodeId to = pool[rng.NextBounded(pool.size())];
+    if (from == to) continue;
+    b.AddEdge(from, to, "recommend");
+    pool.push_back(to);  // Rich get richer.
+  }
+
+  // coReview noise among users.
+  for (size_t i = 0; i < users.size(); ++i) {
+    if (rng.NextBernoulli(0.5)) {
+      NodeId other = users[rng.NextBounded(users.size())];
+      if (other != users[i]) b.AddEdge(users[i], other, "coReview");
+    }
+  }
+
+  return std::move(b).Build();
+}
+
+}  // namespace fairsqg

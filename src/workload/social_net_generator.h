@@ -1,0 +1,35 @@
+#ifndef FAIRSQG_WORKLOAD_SOCIAL_NET_GENERATOR_H_
+#define FAIRSQG_WORKLOAD_SOCIAL_NET_GENERATOR_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace fairsqg {
+
+/// Parameters of the LKI-like professional social network.
+struct SocialNetParams {
+  size_t num_users = 5000;      ///< Label "user".
+  size_t num_directors = 600;   ///< Label "director" (talent-search targets).
+  size_t num_orgs = 250;        ///< Label "org".
+  double female_ratio = 0.45;   ///< Synthetic gender skew (paper uses [14]).
+  double avg_recommendations = 4.0;
+  uint64_t seed = 42;
+};
+
+/// \brief Generates the LKI substitute: a professional network for the
+/// Fig. 1 talent-search scenario.
+///
+/// Users and directors carry yearsOfExp (0-30, skewed), major (Zipf over 24
+/// majors), gender ("male"/"female"), and salaryBand; organizations carry
+/// employees (from a fixed bucket ladder, Zipf popularity) and sector.
+/// Edges: every person worksAt one org (Zipf-popular), recommend edges form
+/// a preferential-attachment graph from persons to persons/directors, and
+/// coReview edges add symmetric noise. Deterministic per seed.
+Result<Graph> GenerateSocialNetwork(const SocialNetParams& params,
+                                    std::shared_ptr<Schema> schema);
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_WORKLOAD_SOCIAL_NET_GENERATOR_H_

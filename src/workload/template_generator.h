@@ -1,0 +1,43 @@
+#ifndef FAIRSQG_WORKLOAD_TEMPLATE_GENERATOR_H_
+#define FAIRSQG_WORKLOAD_TEMPLATE_GENERATOR_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "query/query_template.h"
+
+namespace fairsqg {
+
+/// Controls of the template generator (Section V: "a generator to produce
+/// query templates with practical search conditions, controlled by the
+/// number of variables |X|, query size |Q(u_o)| and topologies").
+struct TemplateSpec {
+  /// Label of the designated output node u_o.
+  LabelId output_label = kInvalidLabel;
+  /// Query size |Q(u_o)|: number of query edges.
+  size_t num_edges = 3;
+  /// |X_L|: range variables on numeric attributes of sampled nodes.
+  size_t num_range_vars = 2;
+  /// |X_E|: edges carrying Boolean variables (must be <= num_edges).
+  size_t num_edge_vars = 1;
+  /// Probability a range literal is a lower bound (>=) vs upper bound (<=).
+  double lower_bound_prob = 0.7;
+  uint64_t seed = 1;
+  /// Resampling attempts before giving up.
+  size_t max_attempts = 200;
+};
+
+/// \brief Samples a query template from the data graph.
+///
+/// Grows a connected subgraph from a random node of the output label by
+/// random incident-edge expansion, lifts it to a template (node labels,
+/// edge labels, directions preserved), marks `num_edge_vars` random edges
+/// as Boolean variables, and parameterizes `num_range_vars` literals on
+/// numeric attributes of the sampled nodes. Because the sampled subgraph
+/// embeds in G, the most relaxed instance is guaranteed at least one match.
+Result<QueryTemplate> GenerateTemplate(const Graph& g, const TemplateSpec& spec);
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_WORKLOAD_TEMPLATE_GENERATOR_H_

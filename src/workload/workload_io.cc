@@ -1,0 +1,135 @@
+#include "workload/workload_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "query/template_io.h"
+
+namespace fairsqg {
+
+Workload MakeWorkload(const QueryTemplate& tmpl,
+                      const std::vector<EvaluatedPtr>& result) {
+  Workload w{tmpl, {}, {}};
+  for (const EvaluatedPtr& e : result) {
+    w.instances.push_back(e->inst);
+    w.quality.push_back(
+        {e->matches.size(), e->obj.diversity, e->obj.coverage});
+  }
+  return w;
+}
+
+Status WriteWorkloadText(const Workload& workload, std::ostream& out) {
+  FAIRSQG_RETURN_NOT_OK(WriteTemplateText(workload.tmpl, out));
+  for (size_t i = 0; i < workload.instances.size(); ++i) {
+    const Instantiation& inst = workload.instances[i];
+    out << "instance";
+    for (RangeVarId x = 0; x < inst.num_range_vars(); ++x) {
+      out << " x" << x << "=";
+      if (inst.is_wildcard(x)) {
+        out << "_";
+      } else {
+        out << inst.range_binding(x);
+      }
+    }
+    for (EdgeVarId x = 0; x < inst.num_edge_vars(); ++x) {
+      out << " e" << x << "=" << static_cast<int>(inst.edge_binding(x));
+    }
+    if (i < workload.quality.size()) {
+      const Workload::Quality& q = workload.quality[i];
+      out << " matches=" << q.matches << " delta=" << q.diversity
+          << " f=" << q.coverage;
+    }
+    out << "\n";
+  }
+  if (!out.good()) return Status::IoError("workload write failed");
+  return Status::OK();
+}
+
+Status WriteWorkloadFile(const Workload& workload, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  return WriteWorkloadText(workload, out);
+}
+
+Result<Workload> ReadWorkloadText(std::istream& in,
+                                  std::shared_ptr<Schema> schema) {
+  // Split the stream: template lines until the first `instance` line.
+  std::ostringstream template_part;
+  std::vector<std::string> instance_lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (StartsWith(StripWhitespace(line), "instance")) {
+      instance_lines.push_back(line);
+    } else {
+      template_part << line << "\n";
+    }
+  }
+  std::istringstream template_in(template_part.str());
+  FAIRSQG_ASSIGN_OR_RETURN(QueryTemplate tmpl,
+                           ReadTemplateText(template_in, std::move(schema)));
+
+  Workload w{std::move(tmpl), {}, {}};
+  for (const std::string& text : instance_lines) {
+    std::vector<int32_t> range(w.tmpl.num_range_vars(), kWildcardBinding);
+    std::vector<uint8_t> edge(w.tmpl.num_edge_vars(), 0);
+    Workload::Quality quality;
+    for (std::string_view tok : SplitString(StripWhitespace(text), ' ')) {
+      if (tok.empty() || tok == "instance") continue;
+      size_t eq = tok.find('=');
+      if (eq == std::string_view::npos) {
+        return Status::InvalidArgument("bad instance token: '" +
+                                       std::string(tok) + "'");
+      }
+      std::string_view key = tok.substr(0, eq);
+      std::string_view value = tok.substr(eq + 1);
+      if (key.size() >= 2 && key[0] == 'x') {
+        FAIRSQG_ASSIGN_OR_RETURN(int64_t x, ParseInt64(key.substr(1)));
+        if (x < 0 || x >= static_cast<int64_t>(range.size())) {
+          return Status::InvalidArgument("range variable out of bounds in '" +
+                                         std::string(tok) + "'");
+        }
+        if (value == "_") {
+          range[x] = kWildcardBinding;
+        } else {
+          FAIRSQG_ASSIGN_OR_RETURN(int64_t idx, ParseInt64(value));
+          range[x] = static_cast<int32_t>(idx);
+        }
+      } else if (key.size() >= 2 && key[0] == 'e' && key != "delta" &&
+                 key[1] >= '0' && key[1] <= '9') {
+        FAIRSQG_ASSIGN_OR_RETURN(int64_t x, ParseInt64(key.substr(1)));
+        if (x < 0 || x >= static_cast<int64_t>(edge.size())) {
+          return Status::InvalidArgument("edge variable out of bounds in '" +
+                                         std::string(tok) + "'");
+        }
+        FAIRSQG_ASSIGN_OR_RETURN(int64_t b, ParseInt64(value));
+        if (b != 0 && b != 1) {
+          return Status::InvalidArgument("edge binding must be 0/1");
+        }
+        edge[x] = static_cast<uint8_t>(b);
+      } else if (key == "matches") {
+        FAIRSQG_ASSIGN_OR_RETURN(int64_t m, ParseInt64(value));
+        quality.matches = static_cast<size_t>(m);
+      } else if (key == "delta") {
+        FAIRSQG_ASSIGN_OR_RETURN(quality.diversity, ParseDouble(value));
+      } else if (key == "f") {
+        FAIRSQG_ASSIGN_OR_RETURN(quality.coverage, ParseDouble(value));
+      } else {
+        return Status::InvalidArgument("unknown instance key '" +
+                                       std::string(key) + "'");
+      }
+    }
+    w.instances.emplace_back(std::move(range), std::move(edge));
+    w.quality.push_back(quality);
+  }
+  return w;
+}
+
+Result<Workload> ReadWorkloadFile(const std::string& path,
+                                  std::shared_ptr<Schema> schema) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  return ReadWorkloadText(in, std::move(schema));
+}
+
+}  // namespace fairsqg

@@ -1,0 +1,52 @@
+#ifndef FAIRSQG_WORKLOAD_WORKLOAD_IO_H_
+#define FAIRSQG_WORKLOAD_WORKLOAD_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/evaluated.h"
+#include "query/domains.h"
+#include "query/query_template.h"
+
+namespace fairsqg {
+
+/// \brief A generated query workload: a template plus the selected
+/// instances with their recorded quality — what Section IV-C's benchmark
+/// scenario ships to a query benchmark ([5], gMark-style usage).
+struct Workload {
+  QueryTemplate tmpl;
+  /// Bindings of each selected instance, in result order.
+  std::vector<Instantiation> instances;
+  /// Recorded measures parallel to `instances` (match count, δ, f).
+  struct Quality {
+    size_t matches = 0;
+    double diversity = 0;
+    double coverage = 0;
+  };
+  std::vector<Quality> quality;
+};
+
+/// \brief Serializes a workload: the template (template_io format) followed
+/// by one `instance` line per query:
+/// \code
+///   instance x0=2 x1=_ e0=1 matches=112 delta=3.25 f=9
+/// \endcode
+/// Range bindings are domain *indexes* (or `_`), so the workload replays
+/// against the same graph + coarsening settings.
+Status WriteWorkloadText(const Workload& workload, std::ostream& out);
+Status WriteWorkloadFile(const Workload& workload, const std::string& path);
+
+Result<Workload> ReadWorkloadText(std::istream& in,
+                                  std::shared_ptr<Schema> schema);
+Result<Workload> ReadWorkloadFile(const std::string& path,
+                                  std::shared_ptr<Schema> schema);
+
+/// Convenience: bundles a generation result into a Workload.
+Workload MakeWorkload(const QueryTemplate& tmpl,
+                      const std::vector<EvaluatedPtr>& result);
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_WORKLOAD_WORKLOAD_IO_H_

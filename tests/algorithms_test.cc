@@ -1,0 +1,248 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/bi_qgen.h"
+#include "core/cbm.h"
+#include "core/enum_qgen.h"
+#include "core/enumerate.h"
+#include "core/indicators.h"
+#include "core/kungs.h"
+#include "core/rf_qgen.h"
+#include "scenario_fixture.h"
+
+namespace fairsqg {
+namespace {
+
+/// Ground truth for one scenario: every instance of I(Q), verified.
+struct GroundTruth {
+  std::vector<EvaluatedPtr> all;
+  std::vector<EvaluatedPtr> feasible;
+
+  explicit GroundTruth(const QGenConfig& config) {
+    InstanceVerifier verifier(config);
+    GenStats stats;
+    all = VerifyAllInstances(config, &verifier, &stats).ValueOrDie();
+    feasible = FeasibleOnly(all);
+  }
+};
+
+/// Asserts `solution` is an ε-Pareto-style set of the feasible space:
+/// feasible members and full ε-coverage.
+void ExpectEpsilonCoverage(const std::vector<EvaluatedPtr>& solution,
+                           const std::vector<EvaluatedPtr>& feasible,
+                           double epsilon, const char* who) {
+  ASSERT_FALSE(solution.empty()) << who;
+  for (const EvaluatedPtr& m : solution) {
+    EXPECT_TRUE(m->feasible) << who << " returned an infeasible instance";
+  }
+  for (const EvaluatedPtr& x : feasible) {
+    bool covered = false;
+    for (const EvaluatedPtr& m : solution) {
+      if (EpsilonDominates(m->obj, x->obj, epsilon + 1e-9)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << who << " missed instance with delta="
+                         << x->obj.diversity << " f=" << x->obj.coverage;
+  }
+}
+
+TEST(KungsTest, ReturnsExactParetoSet) {
+  SmallScenario s;
+  QGenConfig config = s.Config(0.05);
+  GroundTruth truth(config);
+  QGenResult result = Kungs::Run(config).ValueOrDie();
+
+  // Cross-check against a brute-force nested-loop Pareto computation.
+  std::vector<EvaluatedPtr> expected;
+  for (const EvaluatedPtr& a : truth.feasible) {
+    bool dominated = false;
+    for (const EvaluatedPtr& b : truth.feasible) {
+      if (Dominates(b->obj, a->obj)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) expected.push_back(a);
+  }
+  // Compare coordinate sets (Kungs dedupes equal coordinates).
+  auto coord_set = [](const std::vector<EvaluatedPtr>& v) {
+    std::vector<std::pair<double, double>> out;
+    for (const auto& e : v) out.emplace_back(e->obj.diversity, e->obj.coverage);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  };
+  EXPECT_EQ(coord_set(result.pareto), coord_set(expected));
+  EXPECT_GE(result.pareto.size(), 1u);
+
+  // The exact Pareto set scores a perfect ε-indicator.
+  auto ind = EpsilonIndicator(result.pareto, truth.feasible, config.epsilon);
+  EXPECT_DOUBLE_EQ(ind.eps_m, 0.0);
+  EXPECT_DOUBLE_EQ(ind.indicator, 1.0);
+}
+
+TEST(EnumQGenTest, ProducesEpsilonParetoSet) {
+  SmallScenario s;
+  QGenConfig config = s.Config(0.05);
+  GroundTruth truth(config);
+  QGenResult result = EnumQGen::Run(config).ValueOrDie();
+  ExpectEpsilonCoverage(result.pareto, truth.feasible, config.epsilon, "EnumQGen");
+  EXPECT_EQ(result.stats.verified, truth.all.size());
+  EXPECT_EQ(result.stats.feasible, truth.feasible.size());
+}
+
+TEST(RfQGenTest, ProducesEpsilonParetoSetWithFewerVerifications) {
+  SmallScenario s;
+  QGenConfig config = s.Config(0.05);
+  GroundTruth truth(config);
+  QGenResult result = RfQGen::Run(config).ValueOrDie();
+  ExpectEpsilonCoverage(result.pareto, truth.feasible, config.epsilon, "RfQGen");
+  EXPECT_LE(result.stats.verified, truth.all.size())
+      << "RfQGen must not verify more than the full space";
+  EXPECT_GT(result.stats.verified, 0u);
+}
+
+TEST(RfQGenTest, OptimizationsPreserveResultQuality) {
+  SmallScenario s;
+  for (bool tmpl_ref : {true, false}) {
+    for (bool inc : {true, false}) {
+      for (bool subtree : {true, false}) {
+        QGenConfig config = s.Config(0.05);
+        config.use_template_refinement = tmpl_ref;
+        config.use_incremental_verify = inc;
+        config.use_subtree_pruning = subtree;
+        GroundTruth truth(config);
+        QGenResult result = RfQGen::Run(config).ValueOrDie();
+        ExpectEpsilonCoverage(result.pareto, truth.feasible, config.epsilon,
+                              "RfQGen(ablated)");
+      }
+    }
+  }
+}
+
+TEST(BiQGenTest, ProducesEpsilonParetoSet) {
+  SmallScenario s;
+  QGenConfig config = s.Config(0.05);
+  GroundTruth truth(config);
+  QGenResult result = BiQGen::Run(config).ValueOrDie();
+  ExpectEpsilonCoverage(result.pareto, truth.feasible, config.epsilon, "BiQGen");
+  EXPECT_LE(result.stats.verified, truth.all.size());
+}
+
+TEST(BiQGenTest, SandwichPruningPreservesQuality) {
+  SmallScenario s;
+  for (bool sandwich : {true, false}) {
+    QGenConfig config = s.Config(0.05);
+    config.use_sandwich_pruning = sandwich;
+    GroundTruth truth(config);
+    QGenResult result = BiQGen::Run(config).ValueOrDie();
+    ExpectEpsilonCoverage(result.pareto, truth.feasible, config.epsilon,
+                          "BiQGen(sandwich toggle)");
+  }
+}
+
+TEST(CbmTest, AnchorsAreNonDominatedAndIncludeExtremes) {
+  SmallScenario s;
+  QGenConfig config = s.Config(0.05);
+  GroundTruth truth(config);
+  QGenResult result = Cbm::Run(config, 8).ValueOrDie();
+  ASSERT_FALSE(result.pareto.empty());
+  Objectives best = MaxObjectives(truth.feasible);
+  Objectives got = MaxObjectives(result.pareto);
+  EXPECT_DOUBLE_EQ(got.diversity, best.diversity);
+  EXPECT_DOUBLE_EQ(got.coverage, best.coverage);
+  for (const EvaluatedPtr& a : result.pareto) {
+    for (const EvaluatedPtr& b : result.pareto) {
+      EXPECT_FALSE(Dominates(b->obj, a->obj))
+          << "CBM result contains a dominated anchor";
+    }
+  }
+}
+
+TEST(AlgorithmsTest, SizeBoundHolds) {
+  SmallScenario s;
+  for (double eps : {0.05, 0.2, 0.5}) {
+    QGenConfig config = s.Config(eps);
+    InstanceVerifier verifier(config);
+    double max_d = verifier.diversity().MaxDiversity();
+    double max_f = verifier.coverage().MaxCoverage();
+    double bound = std::log1p(max_d) / std::log1p(eps) +
+                   std::log1p(max_f) / std::log1p(eps) + 2;
+    for (auto run : {&EnumQGen::Run, &RfQGen::Run, &BiQGen::Run}) {
+      QGenResult r = run(config).ValueOrDie();
+      EXPECT_LE(static_cast<double>(r.pareto.size()), bound) << "eps=" << eps;
+    }
+  }
+}
+
+TEST(AlgorithmsTest, LargerEpsilonNeverEnlargesArchive) {
+  SmallScenario s;
+  QGenResult fine = RfQGen::Run(s.Config(0.02)).ValueOrDie();
+  QGenResult coarse = RfQGen::Run(s.Config(0.8)).ValueOrDie();
+  EXPECT_LE(coarse.pareto.size(), fine.pareto.size());
+}
+
+TEST(AlgorithmsTest, TraceRecordsMonotoneBestObjectives) {
+  SmallScenario s;
+  QGenConfig config = s.Config(0.05);
+  config.record_trace = true;
+  QGenResult result = BiQGen::Run(config).ValueOrDie();
+  ASSERT_FALSE(result.trace.empty());
+  // Best objectives are monotone up to one (1+ε) box factor: a same-box
+  // replacement may lower the best raw value slightly while keeping the
+  // box (and hence the ε-guarantee) intact.
+  double slack = 1.0 + config.epsilon + 1e-9;
+  for (size_t i = 1; i < result.trace.size(); ++i) {
+    EXPECT_GE(result.trace[i].verified, result.trace[i - 1].verified);
+    EXPECT_GE((1.0 + result.trace[i].best.diversity) * slack,
+              1.0 + result.trace[i - 1].best.diversity);
+    EXPECT_GE((1.0 + result.trace[i].best.coverage) * slack,
+              1.0 + result.trace[i - 1].best.coverage);
+  }
+}
+
+TEST(AlgorithmsTest, MaxVerificationsCapRespected) {
+  SmallScenario s;
+  QGenConfig config = s.Config(0.05);
+  config.max_verifications = 5;
+  for (auto run : {&EnumQGen::Run, &RfQGen::Run, &BiQGen::Run}) {
+    QGenResult r = run(config).ValueOrDie();
+    EXPECT_LE(r.stats.verified, 5u);
+  }
+}
+
+TEST(AlgorithmsTest, InvalidConfigRejected) {
+  QGenConfig empty;
+  EXPECT_FALSE(EnumQGen::Run(empty).ok());
+  EXPECT_FALSE(RfQGen::Run(empty).ok());
+  EXPECT_FALSE(BiQGen::Run(empty).ok());
+  EXPECT_FALSE(Kungs::Run(empty).ok());
+  EXPECT_FALSE(Cbm::Run(empty).ok());
+}
+
+// Different seeds give different graphs; the ε-Pareto property must hold on
+// all of them for all three approximate algorithms.
+class AlgorithmSeedTest : public testing::TestWithParam<int> {};
+
+TEST_P(AlgorithmSeedTest, EpsilonParetoPropertyAcrossSeeds) {
+  SmallScenario s(static_cast<uint64_t>(GetParam()) * 31 + 7);
+  QGenConfig config = s.Config(0.1);
+  InstanceVerifier verifier(config);
+  EvaluatedPtr root = verifier.Verify(Instantiation::MostRelaxed(*s.tmpl));
+  if (!root->feasible) GTEST_SKIP() << "seed yields an infeasible scenario";
+  GroundTruth truth(config);
+  for (auto [name, run] :
+       {std::pair{"Enum", &EnumQGen::Run}, std::pair{"Rf", &RfQGen::Run},
+        std::pair{"Bi", &BiQGen::Run}}) {
+    QGenResult result = run(config).ValueOrDie();
+    ExpectEpsilonCoverage(result.pareto, truth.feasible, config.epsilon, name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgorithmSeedTest, testing::Range(0, 8));
+
+}  // namespace
+}  // namespace fairsqg

@@ -1,0 +1,92 @@
+#include "graph/attr_value.h"
+
+#include <gtest/gtest.h>
+
+namespace fairsqg {
+namespace {
+
+TEST(AttrValueTest, TypePredicates) {
+  EXPECT_TRUE(AttrValue(int64_t{5}).is_int());
+  EXPECT_TRUE(AttrValue(int64_t{5}).is_numeric());
+  EXPECT_TRUE(AttrValue(2.5).is_double());
+  EXPECT_TRUE(AttrValue(std::string("x")).is_string());
+  EXPECT_FALSE(AttrValue(std::string("x")).is_numeric());
+}
+
+TEST(AttrValueTest, ToNumeric) {
+  EXPECT_DOUBLE_EQ(AttrValue(int64_t{7}).ToNumeric(), 7.0);
+  EXPECT_DOUBLE_EQ(AttrValue(2.5).ToNumeric(), 2.5);
+  EXPECT_DOUBLE_EQ(AttrValue(std::string("x")).ToNumeric(), 0.0);
+}
+
+TEST(AttrValueTest, ToString) {
+  EXPECT_EQ(AttrValue(int64_t{-3}).ToString(), "-3");
+  EXPECT_EQ(AttrValue(std::string("drama")).ToString(), "drama");
+  EXPECT_EQ(AttrValue(2.5).ToString(), "2.5");
+}
+
+TEST(AttrValueTest, NumericComparisonAllOps) {
+  AttrValue five(int64_t{5});
+  AttrValue three(int64_t{3});
+  EXPECT_TRUE(five.Compare(CompareOp::kGt, three));
+  EXPECT_TRUE(five.Compare(CompareOp::kGe, three));
+  EXPECT_FALSE(five.Compare(CompareOp::kEq, three));
+  EXPECT_FALSE(five.Compare(CompareOp::kLe, three));
+  EXPECT_FALSE(five.Compare(CompareOp::kLt, three));
+  EXPECT_TRUE(five.Compare(CompareOp::kEq, AttrValue(int64_t{5})));
+  EXPECT_TRUE(five.Compare(CompareOp::kGe, AttrValue(int64_t{5})));
+  EXPECT_TRUE(five.Compare(CompareOp::kLe, AttrValue(int64_t{5})));
+}
+
+TEST(AttrValueTest, MixedIntDoubleComparison) {
+  EXPECT_TRUE(AttrValue(int64_t{5}).Compare(CompareOp::kGt, AttrValue(4.5)));
+  EXPECT_TRUE(AttrValue(4.5).Compare(CompareOp::kLt, AttrValue(int64_t{5})));
+  EXPECT_TRUE(AttrValue(5.0).Compare(CompareOp::kEq, AttrValue(int64_t{5})));
+}
+
+TEST(AttrValueTest, StringComparison) {
+  AttrValue a(std::string("action"));
+  AttrValue r(std::string("romance"));
+  EXPECT_TRUE(a.Compare(CompareOp::kLt, r));
+  EXPECT_TRUE(r.Compare(CompareOp::kGt, a));
+  EXPECT_TRUE(a.Compare(CompareOp::kEq, AttrValue(std::string("action"))));
+}
+
+TEST(AttrValueTest, MixedStringNumericNeverMatches) {
+  AttrValue s(std::string("5"));
+  AttrValue n(int64_t{5});
+  for (CompareOp op : {CompareOp::kGt, CompareOp::kGe, CompareOp::kEq,
+                       CompareOp::kLe, CompareOp::kLt}) {
+    EXPECT_FALSE(s.Compare(op, n));
+    EXPECT_FALSE(n.Compare(op, s));
+  }
+}
+
+TEST(AttrValueTest, TotalOrderNumericsBeforeStrings) {
+  AttrValue n(int64_t{1000});
+  AttrValue s(std::string("a"));
+  EXPECT_TRUE(n < s);
+  EXPECT_FALSE(s < n);
+}
+
+TEST(AttrValueTest, EqualityAcrossNumericTypes) {
+  EXPECT_EQ(AttrValue(int64_t{5}), AttrValue(5.0));
+  EXPECT_NE(AttrValue(int64_t{5}), AttrValue(std::string("5")));
+}
+
+TEST(AttrValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(AttrValue(int64_t{5}).Hash(), AttrValue(5.0).Hash());
+  EXPECT_EQ(AttrValue(std::string("x")).Hash(), AttrValue(std::string("x")).Hash());
+  EXPECT_NE(AttrValue(int64_t{5}).Hash(), AttrValue(int64_t{6}).Hash());
+}
+
+TEST(CompareOpTest, Names) {
+  EXPECT_STREQ(CompareOpToString(CompareOp::kGt), ">");
+  EXPECT_STREQ(CompareOpToString(CompareOp::kGe), ">=");
+  EXPECT_STREQ(CompareOpToString(CompareOp::kEq), "=");
+  EXPECT_STREQ(CompareOpToString(CompareOp::kLe), "<=");
+  EXPECT_STREQ(CompareOpToString(CompareOp::kLt), "<");
+}
+
+}  // namespace
+}  // namespace fairsqg

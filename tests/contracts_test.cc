@@ -1,0 +1,130 @@
+// Contract checks (FAIRSQG_CHECK aborts) and degenerate-input behaviour
+// across modules.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/measures.h"
+#include "core/online_qgen.h"
+#include "core/pareto_archive.h"
+#include "graph/graph_builder.h"
+#include "workload/instance_stream.h"
+#include "scenario_fixture.h"
+
+namespace fairsqg {
+namespace {
+
+using ContractsDeathTest = testing::Test;
+
+TEST(ContractsDeathTest, RngRejectsZeroBound) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.NextBounded(0), "positive bound");
+}
+
+TEST(ContractsDeathTest, RngRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.NextInRange(3, 2), "lo <= hi");
+}
+
+TEST(ContractsDeathTest, ArchiveRejectsNonPositiveEpsilon) {
+  EXPECT_DEATH(ParetoArchive(0.0), "epsilon must be positive");
+  EXPECT_DEATH(ParetoArchive(-1.0), "epsilon");
+}
+
+TEST(ContractsDeathTest, ArchiveEpsilonOnlyGrows) {
+  ParetoArchive archive(0.5);
+  EXPECT_DEATH(archive.SetEpsilon(0.1), "only grow");
+}
+
+TEST(ContractsDeathTest, OnlineRejectsZeroK) {
+  SmallScenario s;
+  QGenConfig config = s.Config();
+  OnlineConfig online;
+  online.k = 0;
+  EXPECT_DEATH(OnlineQGen(config, online), "k must be positive");
+}
+
+TEST(ContractsDeathTest, DictionaryRejectsBadId) {
+  Dictionary d;
+  d.Intern("only");
+  EXPECT_DEATH(d.Name(7), "out of range");
+}
+
+TEST(DegenerateInputTest, DiversityOnUnknownLabelIsZero) {
+  GraphBuilder b;
+  b.AddNode("only");
+  Graph g = std::move(b).Build().ValueOrDie();
+  DiversityEvaluator eval(g, kInvalidLabel, DiversityConfig{});
+  EXPECT_DOUBLE_EQ(eval.Diversity({}), 0.0);
+  EXPECT_DOUBLE_EQ(eval.MaxDiversity(), 0.0);
+}
+
+TEST(DegenerateInputTest, DiversityWithoutAttributes) {
+  GraphBuilder b;
+  NodeId a = b.AddNode("bare");
+  NodeId c = b.AddNode("bare");
+  b.AddEdge(a, c, "e");
+  Graph g = std::move(b).Build().ValueOrDie();
+  DiversityEvaluator eval(g, g.schema().NodeLabelId("bare"), DiversityConfig{});
+  // No attributes: all pairwise distances are 0; relevance still counts.
+  EXPECT_DOUBLE_EQ(eval.Distance(a, c), 0.0);
+  EXPECT_GT(eval.Diversity({a, c}), 0.0);  // Degree relevance.
+}
+
+TEST(DegenerateInputTest, SingleNodeLabelHasZeroPairScale) {
+  GraphBuilder b;
+  NodeId only = b.AddNode("solo");
+  b.SetAttr(only, "x", AttrValue(int64_t{1}));
+  Graph g = std::move(b).Build().ValueOrDie();
+  DiversityConfig cfg;
+  cfg.lambda = 1.0;  // Pure pairwise term, but |V_label| == 1.
+  DiversityEvaluator eval(g, g.schema().NodeLabelId("solo"), cfg);
+  EXPECT_DOUBLE_EQ(eval.Diversity({only}), 0.0);
+}
+
+TEST(DegenerateInputTest, EmptyGroupSetScoresEverythingFeasible) {
+  GroupSet groups = GroupSet::Create(5, {}, {}).ValueOrDie();
+  CoverageEvaluator eval(groups);
+  CoverageResult r = eval.Evaluate({0, 1, 2});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);  // C = 0.
+}
+
+TEST(DegenerateInputTest, ZeroConstraintGroupAlwaysSatisfied) {
+  GroupSet groups = GroupSet::Create(5, {{0, 1}}, {0}).ValueOrDie();
+  CoverageEvaluator eval(groups);
+  EXPECT_TRUE(eval.Evaluate({}).feasible);
+  EXPECT_TRUE(eval.Evaluate({0, 1}).feasible);  // Over-coverage stays feasible.
+}
+
+TEST(DegenerateInputTest, OnlineKOneMaintainsSingleton) {
+  SmallScenario s;
+  QGenConfig config = s.Config();
+  OnlineConfig online;
+  online.k = 1;
+  online.window = 5;
+  OnlineQGen gen(config, online);
+  InstanceStream stream(*s.tmpl, *s.domains, 77);
+  Instantiation inst;
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(stream.Next(&inst));
+    gen.Process(inst);
+    EXPECT_LE(gen.size(), 1u);
+  }
+  EXPECT_EQ(gen.size(), 1u);
+}
+
+TEST(DegenerateInputTest, TemplateWithoutVariablesHasSingletonSpace) {
+  SmallScenario s;
+  QueryTemplate t(s.schema);
+  QNodeId d = t.AddNode("director");
+  QNodeId u = t.AddNode("user");
+  t.SetOutputNode(d);
+  t.AddEdge(u, d, "recommend");
+  VariableDomains domains = VariableDomains::Build(s.graph, t).ValueOrDie();
+  EXPECT_EQ(domains.InstanceSpaceSize(t), 1u);
+  EXPECT_EQ(Instantiation::MostRelaxed(t), Instantiation::MostRefined(t, domains));
+}
+
+}  // namespace
+}  // namespace fairsqg

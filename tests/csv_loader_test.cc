@@ -1,0 +1,124 @@
+#include "graph/csv_loader.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace fairsqg {
+namespace {
+
+TEST(CsvLoaderTest, LoadsTypedGraph) {
+  std::istringstream nodes(
+      "id,label,yearsOfExp:int,rating:double,major:string\n"
+      "u1,user,12,4.5,physics\n"
+      "u2,user,3,,math\n"
+      "o1,org,,,\n");
+  std::istringstream edges(
+      "from,to,label\n"
+      "u1,o1,worksAt\n"
+      "u2,u1,recommend\n");
+  std::unordered_map<std::string, NodeId> ids;
+  Result<Graph> r = LoadCsvGraph(nodes, edges, nullptr, &ids);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Graph& g = *r;
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  ASSERT_EQ(ids.size(), 3u);
+
+  NodeId u1 = ids.at("u1");
+  AttrId years = g.schema().AttrIdOf("yearsOfExp");
+  AttrId rating = g.schema().AttrIdOf("rating");
+  AttrId major = g.schema().AttrIdOf("major");
+  ASSERT_NE(g.GetAttr(u1, years), nullptr);
+  EXPECT_EQ(g.GetAttr(u1, years)->as_int(), 12);
+  EXPECT_TRUE(g.GetAttr(u1, rating)->is_double());
+  EXPECT_DOUBLE_EQ(g.GetAttr(u1, rating)->as_double(), 4.5);
+  EXPECT_EQ(g.GetAttr(u1, major)->as_string(), "physics");
+
+  // Empty cells mean the attribute is absent.
+  NodeId u2 = ids.at("u2");
+  EXPECT_EQ(g.GetAttr(u2, rating), nullptr);
+  NodeId o1 = ids.at("o1");
+  EXPECT_EQ(g.attrs(o1).size(), 0u);
+
+  LabelId works = g.schema().EdgeLabelId("worksAt");
+  EXPECT_TRUE(g.HasEdge(u1, o1, works));
+}
+
+TEST(CsvLoaderTest, CommentsAndBlankLinesSkipped) {
+  std::istringstream nodes(
+      "id,label\n"
+      "# a comment\n"
+      "\n"
+      "a,x\n");
+  std::istringstream edges("from,to,label\n");
+  Result<Graph> r = LoadCsvGraph(nodes, edges);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_nodes(), 1u);
+}
+
+TEST(CsvLoaderTest, RejectsBadNodeHeader) {
+  std::istringstream nodes("name,label\na,x\n");
+  std::istringstream edges("from,to,label\n");
+  EXPECT_FALSE(LoadCsvGraph(nodes, edges).ok());
+}
+
+TEST(CsvLoaderTest, RejectsUntypedAttrColumn) {
+  std::istringstream nodes("id,label,age\na,x,3\n");
+  std::istringstream edges("from,to,label\n");
+  EXPECT_FALSE(LoadCsvGraph(nodes, edges).ok());
+}
+
+TEST(CsvLoaderTest, RejectsUnknownType) {
+  std::istringstream nodes("id,label,age:short\na,x,3\n");
+  std::istringstream edges("from,to,label\n");
+  EXPECT_FALSE(LoadCsvGraph(nodes, edges).ok());
+}
+
+TEST(CsvLoaderTest, RejectsDuplicateIds) {
+  std::istringstream nodes("id,label\na,x\na,y\n");
+  std::istringstream edges("from,to,label\n");
+  EXPECT_FALSE(LoadCsvGraph(nodes, edges).ok());
+}
+
+TEST(CsvLoaderTest, RejectsWrongCellCount) {
+  std::istringstream nodes("id,label,p:int\na,x\n");
+  std::istringstream edges("from,to,label\n");
+  EXPECT_FALSE(LoadCsvGraph(nodes, edges).ok());
+}
+
+TEST(CsvLoaderTest, RejectsBadTypedCell) {
+  std::istringstream nodes("id,label,p:int\na,x,notanint\n");
+  std::istringstream edges("from,to,label\n");
+  EXPECT_FALSE(LoadCsvGraph(nodes, edges).ok());
+}
+
+TEST(CsvLoaderTest, RejectsUnknownEdgeEndpoint) {
+  std::istringstream nodes("id,label\na,x\n");
+  std::istringstream edges("from,to,label\na,zzz,e\n");
+  EXPECT_FALSE(LoadCsvGraph(nodes, edges).ok());
+}
+
+TEST(CsvLoaderTest, RejectsBadEdgeHeader) {
+  std::istringstream nodes("id,label\na,x\n");
+  std::istringstream edges("src,dst,label\n");
+  EXPECT_FALSE(LoadCsvGraph(nodes, edges).ok());
+}
+
+TEST(CsvLoaderTest, RejectsEmptyFiles) {
+  std::istringstream nodes("");
+  std::istringstream edges("from,to,label\n");
+  EXPECT_FALSE(LoadCsvGraph(nodes, edges).ok());
+  std::istringstream nodes2("id,label\n");
+  std::istringstream edges2("");
+  EXPECT_FALSE(LoadCsvGraph(nodes2, edges2).ok());
+}
+
+TEST(CsvLoaderTest, MissingFilesAreIoErrors) {
+  EXPECT_TRUE(LoadCsvGraphFiles("/no/nodes.csv", "/no/edges.csv")
+                  .status()
+                  .IsIoError());
+}
+
+}  // namespace
+}  // namespace fairsqg

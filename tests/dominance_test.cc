@@ -1,0 +1,116 @@
+#include "core/dominance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fairsqg {
+namespace {
+
+TEST(DominanceTest, StrictAndNonStrict) {
+  Objectives a{2.0, 3.0};
+  Objectives b{1.0, 3.0};
+  Objectives c{1.0, 2.0};
+  EXPECT_TRUE(Dominates(a, b));   // Equal coverage, higher diversity.
+  EXPECT_TRUE(Dominates(a, c));
+  EXPECT_TRUE(Dominates(b, c));
+  EXPECT_FALSE(Dominates(b, a));
+  EXPECT_FALSE(Dominates(a, a));  // No self-dominance.
+}
+
+TEST(DominanceTest, IncomparablePairs) {
+  Objectives a{2.0, 1.0};
+  Objectives b{1.0, 2.0};
+  EXPECT_FALSE(Dominates(a, b));
+  EXPECT_FALSE(Dominates(b, a));
+}
+
+TEST(EpsilonDominanceTest, ReflexiveAndTolerant) {
+  Objectives a{2.0, 3.0};
+  EXPECT_TRUE(EpsilonDominates(a, a, 0.01));
+  // b is slightly better; within a 10% tolerance a still eps-dominates it.
+  Objectives b{2.1, 3.1};
+  EXPECT_TRUE(EpsilonDominates(a, b, 0.1));
+  EXPECT_FALSE(EpsilonDominates(a, b, 0.001));
+}
+
+TEST(EpsilonDominanceTest, ZeroValuesWellBehaved) {
+  Objectives zero{0.0, 0.0};
+  Objectives tiny{0.005, 0.0};
+  EXPECT_TRUE(EpsilonDominates(zero, tiny, 0.01));
+  Objectives big{10.0, 10.0};
+  EXPECT_FALSE(EpsilonDominates(zero, big, 0.01));
+  EXPECT_TRUE(EpsilonDominates(big, zero, 0.0001));
+}
+
+TEST(BoxTest, BoxIndexesGrowWithValues) {
+  double eps = 0.1;
+  BoxCoord b0 = BoxOf({0.0, 0.0}, eps);
+  BoxCoord b1 = BoxOf({10.0, 5.0}, eps);
+  EXPECT_EQ(b0.diversity, 0);
+  EXPECT_EQ(b0.coverage, 0);
+  EXPECT_GT(b1.diversity, b0.diversity);
+  EXPECT_GT(b1.coverage, b0.coverage);
+  EXPECT_GT(b1.diversity, b1.coverage);  // 10 > 5.
+}
+
+TEST(BoxTest, SameBoxWithinOneEpsilonFactor) {
+  double eps = 0.5;
+  // 1+v in [ (1.5)^k, (1.5)^{k+1} ) share box k.
+  BoxCoord a = BoxOf({0.6, 0.0}, eps);   // 1.6 -> box 1.
+  BoxCoord b = BoxOf({1.0, 0.0}, eps);   // 2.0 -> box 1.
+  BoxCoord c = BoxOf({1.3, 0.0}, eps);   // 2.3 -> box 2.
+  EXPECT_EQ(a.diversity, b.diversity);
+  EXPECT_NE(a.diversity, c.diversity);
+}
+
+TEST(BoxTest, BoxDominance) {
+  BoxCoord a{3, 4};
+  BoxCoord b{3, 3};
+  BoxCoord c{2, 5};
+  EXPECT_TRUE(BoxDominates(a, b));
+  EXPECT_FALSE(BoxDominates(b, a));
+  EXPECT_FALSE(BoxDominates(a, c));
+  EXPECT_FALSE(BoxDominates(c, a));
+  EXPECT_FALSE(BoxDominates(a, a));
+  EXPECT_TRUE(BoxDominatesOrEqual(a, a));
+  EXPECT_TRUE(BoxDominatesOrEqual(a, b));
+}
+
+TEST(RequiredEpsilonTest, ZeroWhenDominating) {
+  EXPECT_DOUBLE_EQ(RequiredEpsilon({5, 5}, {4, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(RequiredEpsilon({5, 5}, {5, 5}), 0.0);
+}
+
+TEST(RequiredEpsilonTest, MatchesEpsilonDominance) {
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    Objectives a{rng.NextDouble() * 10, rng.NextDouble() * 10};
+    Objectives b{rng.NextDouble() * 10, rng.NextDouble() * 10};
+    double need = RequiredEpsilon(a, b);
+    // a eps-dominates b exactly for eps >= need.
+    EXPECT_TRUE(EpsilonDominates(a, b, need + 1e-12));
+    if (need > 1e-9) {
+      EXPECT_FALSE(EpsilonDominates(a, b, need * 0.999));
+    }
+  }
+}
+
+TEST(BoxTest, BoxDominanceImpliesEpsilonDominance) {
+  // The archive's core soundness property: if Box(a) >= Box(b)
+  // componentwise then a ε-dominates b.
+  Rng rng(11);
+  double eps = 0.2;
+  for (int i = 0; i < 5000; ++i) {
+    Objectives a{rng.NextDouble() * 40, rng.NextDouble() * 40};
+    Objectives b{rng.NextDouble() * 40, rng.NextDouble() * 40};
+    if (BoxDominatesOrEqual(BoxOf(a, eps), BoxOf(b, eps))) {
+      EXPECT_TRUE(EpsilonDominates(a, b, eps + 1e-9))
+          << "a=(" << a.diversity << "," << a.coverage << ") b=("
+          << b.diversity << "," << b.coverage << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fairsqg

@@ -1,0 +1,140 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "matching/subgraph_matcher.h"
+
+namespace fairsqg {
+namespace {
+
+struct Fixture {
+  std::shared_ptr<Schema> schema = std::make_shared<Schema>();
+  Graph graph;
+  QueryTemplate tmpl;
+  VariableDomains domains;
+
+  // Two users (0, 1) each recommend director 2; user 0 also recommends
+  // director 3.
+  Fixture() : graph(MakeGraph()), tmpl(schema), domains(MakeTemplate()) {}
+
+  Graph MakeGraph() {
+    GraphBuilder b(schema);
+    b.AddNode("user");
+    b.AddNode("user");
+    b.AddNode("director");
+    b.AddNode("director");
+    b.AddEdge(0, 2, "recommend");
+    b.AddEdge(1, 2, "recommend");
+    b.AddEdge(0, 3, "recommend");
+    return std::move(b).Build().ValueOrDie();
+  }
+
+  VariableDomains MakeTemplate() {
+    QNodeId u = tmpl.AddNode("user");
+    QNodeId d = tmpl.AddNode("director");
+    tmpl.SetOutputNode(d);
+    tmpl.AddEdge(u, d, "recommend");
+    return VariableDomains::Build(graph, tmpl).ValueOrDie();
+  }
+
+  QueryInstance Instance() {
+    return QueryInstance::Materialize(tmpl, domains,
+                                      Instantiation::MostRelaxed(tmpl));
+  }
+};
+
+TEST(EmbeddingTest, EnumeratesAllEmbeddings) {
+  Fixture f;
+  QueryInstance q = f.Instance();
+  SubgraphMatcher m(f.graph);
+  CandidateSpace cands = CandidateSpace::Build(f.graph, q);
+  std::set<std::pair<NodeId, NodeId>> seen;  // (user, director).
+  size_t count = m.EnumerateEmbeddings(q, cands, [&](const auto& a) {
+    seen.emplace(a[0], a[1]);
+    return true;
+  });
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(seen, (std::set<std::pair<NodeId, NodeId>>{{0, 2}, {1, 2}, {0, 3}}));
+}
+
+TEST(EmbeddingTest, VisitorCanStopEarly) {
+  Fixture f;
+  QueryInstance q = f.Instance();
+  SubgraphMatcher m(f.graph);
+  CandidateSpace cands = CandidateSpace::Build(f.graph, q);
+  size_t visited = 0;
+  size_t count = m.EnumerateEmbeddings(q, cands, [&](const auto&) {
+    ++visited;
+    return visited < 2;
+  });
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(visited, 2u);
+}
+
+TEST(EmbeddingTest, LimitStopsEnumeration) {
+  Fixture f;
+  QueryInstance q = f.Instance();
+  SubgraphMatcher m(f.graph);
+  CandidateSpace cands = CandidateSpace::Build(f.graph, q);
+  size_t count =
+      m.EnumerateEmbeddings(q, cands, [](const auto&) { return true; }, 1);
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(EmbeddingTest, SingleNodeQueryEmitsCandidates) {
+  Fixture f;
+  QueryTemplate t(f.schema);
+  t.AddNode("director");
+  VariableDomains d = VariableDomains::Build(f.graph, t).ValueOrDie();
+  QueryInstance q = QueryInstance::Materialize(t, d, Instantiation::MostRelaxed(t));
+  SubgraphMatcher m(f.graph);
+  CandidateSpace cands = CandidateSpace::Build(f.graph, q);
+  std::set<NodeId> seen;
+  size_t count = m.EnumerateEmbeddings(q, cands, [&](const auto& a) {
+    seen.insert(a[0]);
+    return true;
+  });
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(seen, (std::set<NodeId>{2, 3}));
+}
+
+TEST(EmbeddingTest, InactiveNodesAreInvalidInAssignment) {
+  Fixture f;
+  // Add an optional third node; with its edge off, it is inactive.
+  QueryTemplate t(f.schema);
+  QNodeId u = t.AddNode("user");
+  QNodeId d = t.AddNode("director");
+  QNodeId extra = t.AddNode("user");
+  t.SetOutputNode(d);
+  t.AddEdge(u, d, "recommend");
+  t.AddVariableEdge(extra, d, "recommend");
+  VariableDomains dom = VariableDomains::Build(f.graph, t).ValueOrDie();
+  QueryInstance q =
+      QueryInstance::Materialize(t, dom, Instantiation::MostRelaxed(t));
+  SubgraphMatcher m(f.graph);
+  CandidateSpace cands = CandidateSpace::Build(f.graph, q);
+  m.EnumerateEmbeddings(q, cands, [&](const auto& a) {
+    EXPECT_NE(a[u], kInvalidNode);
+    EXPECT_NE(a[d], kInvalidNode);
+    EXPECT_EQ(a[extra], kInvalidNode);  // Outside u_o's component.
+    return true;
+  });
+}
+
+TEST(EmbeddingTest, CountConsistentWithMatchOutput) {
+  Fixture f;
+  QueryInstance q = f.Instance();
+  SubgraphMatcher m(f.graph);
+  CandidateSpace cands = CandidateSpace::Build(f.graph, q);
+  std::set<NodeId> outputs;
+  m.EnumerateEmbeddings(q, cands, [&](const auto& a) {
+    outputs.insert(a[q.output_node()]);
+    return true;
+  });
+  NodeSet match_set = m.MatchOutput(q, cands);
+  EXPECT_EQ(outputs, std::set<NodeId>(match_set.begin(), match_set.end()));
+}
+
+}  // namespace
+}  // namespace fairsqg

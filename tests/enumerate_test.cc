@@ -1,0 +1,125 @@
+#include "core/enumerate.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "scenario_fixture.h"
+
+namespace fairsqg {
+namespace {
+
+TEST(EnumeratorTest, YieldsExactlyTheInstanceSpace) {
+  SmallScenario s;
+  InstantiationEnumerator it(*s.tmpl, *s.domains);
+  size_t space = it.SpaceSize();
+  std::unordered_set<Instantiation, Instantiation::Hasher> seen;
+  Instantiation inst;
+  bool saw_root = false;
+  bool saw_bottom = false;
+  Instantiation root = Instantiation::MostRelaxed(*s.tmpl);
+  Instantiation bottom = Instantiation::MostRefined(*s.tmpl, *s.domains);
+  while (it.Next(&inst)) {
+    EXPECT_TRUE(seen.insert(inst).second) << "enumerator repeated an instance";
+    saw_root |= (inst == root);
+    saw_bottom |= (inst == bottom);
+  }
+  EXPECT_EQ(seen.size(), space);
+  EXPECT_TRUE(saw_root);
+  EXPECT_TRUE(saw_bottom);
+  // Exhausted enumerators stay exhausted.
+  EXPECT_FALSE(it.Next(&inst));
+  // Reset restarts from the most relaxed instantiation.
+  it.Reset();
+  ASSERT_TRUE(it.Next(&inst));
+  EXPECT_EQ(inst, root);
+}
+
+TEST(EnumeratorTest, FirstInstantiationIsMostRelaxed) {
+  SmallScenario s;
+  InstantiationEnumerator it(*s.tmpl, *s.domains);
+  Instantiation inst;
+  ASSERT_TRUE(it.Next(&inst));
+  EXPECT_EQ(inst, Instantiation::MostRelaxed(*s.tmpl));
+}
+
+TEST(EnumeratorTest, EveryInstanceRefinesTheRoot) {
+  SmallScenario s;
+  InstantiationEnumerator it(*s.tmpl, *s.domains);
+  Instantiation root = Instantiation::MostRelaxed(*s.tmpl);
+  Instantiation bottom = Instantiation::MostRefined(*s.tmpl, *s.domains);
+  Instantiation inst;
+  while (it.Next(&inst)) {
+    EXPECT_TRUE(inst.Refines(root));
+    EXPECT_TRUE(bottom.Refines(inst));
+  }
+}
+
+TEST(ExactParetoSetTest, HandlesTiesAndDuplicates) {
+  auto mk = [](double d, double f) {
+    auto e = std::make_shared<EvaluatedInstance>();
+    e->obj = {d, f};
+    e->feasible = true;
+    return e;
+  };
+  // (5,1), (5,3): equal diversity, second dominates. (3,3) dominated by
+  // (5,3). (1,9) incomparable. Duplicate (5,3) deduplicated.
+  auto front = ExactParetoSet({mk(5, 1), mk(5, 3), mk(3, 3), mk(1, 9), mk(5, 3)});
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_DOUBLE_EQ(front[0]->obj.diversity, 5);
+  EXPECT_DOUBLE_EQ(front[0]->obj.coverage, 3);
+  EXPECT_DOUBLE_EQ(front[1]->obj.diversity, 1);
+  EXPECT_DOUBLE_EQ(front[1]->obj.coverage, 9);
+}
+
+TEST(ExactParetoSetTest, EmptyAndSingleton) {
+  EXPECT_TRUE(ExactParetoSet({}).empty());
+  auto e = std::make_shared<EvaluatedInstance>();
+  e->obj = {1, 1};
+  EXPECT_EQ(ExactParetoSet({e}).size(), 1u);
+}
+
+// Randomized: incremental diversity parts equal full recomputation along
+// random subset chains.
+class IncrementalPartsTest : public testing::TestWithParam<int> {};
+
+TEST_P(IncrementalPartsTest, RefineAndRelaxPartsMatchFull) {
+  SmallScenario s;
+  QGenConfig config = s.Config();
+  InstanceVerifier verifier(config);
+  const DiversityEvaluator& diversity = verifier.diversity();
+
+  Rng rng(static_cast<uint64_t>(GetParam()) * 53 + 1);
+  const NodeSet& all =
+      s.graph.NodesWithLabel(s.schema->NodeLabelId("director"));
+  // Random parent ⊆ all, child ⊆ parent.
+  NodeSet parent;
+  for (NodeId v : all) {
+    if (rng.NextBernoulli(0.7)) parent.push_back(v);
+  }
+  NodeSet child;
+  for (NodeId v : parent) {
+    if (rng.NextBernoulli(0.6)) child.push_back(v);
+  }
+
+  DiversityEvaluator::Parts parent_parts = diversity.ComputeParts(parent);
+  DiversityEvaluator::Parts inc =
+      diversity.RefineParts(parent_parts, parent, child);
+  DiversityEvaluator::Parts full = diversity.ComputeParts(child);
+  EXPECT_NEAR(inc.relevance_sum, full.relevance_sum,
+              1e-7 * (1 + full.relevance_sum));
+  EXPECT_NEAR(inc.pair_sum, full.pair_sum, 1e-6 * (1 + full.pair_sum));
+
+  // And back up: relaxing child to parent recovers the parent's parts.
+  DiversityEvaluator::Parts back = diversity.RelaxParts(full, child, parent);
+  EXPECT_NEAR(back.relevance_sum, parent_parts.relevance_sum,
+              1e-7 * (1 + parent_parts.relevance_sum));
+  EXPECT_NEAR(back.pair_sum, parent_parts.pair_sum,
+              1e-6 * (1 + parent_parts.pair_sum));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalPartsTest, testing::Range(0, 10));
+
+}  // namespace
+}  // namespace fairsqg

@@ -1,0 +1,96 @@
+#include "core/fairness_rules.h"
+
+#include <gtest/gtest.h>
+
+namespace fairsqg {
+namespace {
+
+GroupSet MakeGroups(std::vector<size_t> sizes) {
+  std::vector<NodeSet> sets;
+  NodeId next = 0;
+  for (size_t size : sizes) {
+    NodeSet set;
+    for (size_t i = 0; i < size; ++i) set.push_back(next++);
+    sets.push_back(std::move(set));
+  }
+  std::vector<size_t> zeros(sizes.size(), 0);
+  return GroupSet::Create(next, std::move(sets), std::move(zeros)).ValueOrDie();
+}
+
+TEST(EqualOpportunityTest, EvenSplit) {
+  GroupSet groups = MakeGroups({50, 50});
+  GroupSet eo = EqualOpportunityConstraints(100, groups, 40).ValueOrDie();
+  EXPECT_EQ(eo.constraint(0), 20u);
+  EXPECT_EQ(eo.constraint(1), 20u);
+  EXPECT_EQ(eo.total_constraint(), 40u);
+}
+
+TEST(EqualOpportunityTest, RemainderToFirstGroups) {
+  GroupSet groups = MakeGroups({50, 50, 50});
+  GroupSet eo = EqualOpportunityConstraints(150, groups, 10).ValueOrDie();
+  EXPECT_EQ(eo.constraint(0), 4u);
+  EXPECT_EQ(eo.constraint(1), 3u);
+  EXPECT_EQ(eo.constraint(2), 3u);
+}
+
+TEST(EqualOpportunityTest, FailsWhenGroupTooSmall) {
+  GroupSet groups = MakeGroups({50, 5});
+  EXPECT_TRUE(EqualOpportunityConstraints(55, groups, 40)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(DisparateImpactTest, EightyPercentRule) {
+  GroupSet groups = MakeGroups({100, 60});
+  GroupSet di = DisparateImpactConstraints(160, groups, 50, 0.8).ValueOrDie();
+  // Majority is group 0 (size 100). Targets: c + ceil(0.8 c) <= 50.
+  // c=28 -> 28 + 23 = 51 > 50; c=27 -> 27 + 22 = 49 <= 50.
+  EXPECT_EQ(di.constraint(0), 27u);
+  EXPECT_EQ(di.constraint(1), 22u);
+  EXPECT_LE(di.total_constraint(), 50u);
+  // The minority target honours the 80% ratio.
+  EXPECT_GE(static_cast<double>(di.constraint(1)) + 1e-9,
+            0.8 * static_cast<double>(di.constraint(0)));
+}
+
+TEST(DisparateImpactTest, MajorityIsLargestGroup) {
+  GroupSet groups = MakeGroups({30, 90, 50});
+  GroupSet di = DisparateImpactConstraints(170, groups, 60, 0.5).ValueOrDie();
+  // Group 1 (90 nodes) is the majority; others get ceil(0.5 * c).
+  EXPECT_GT(di.constraint(1), di.constraint(0));
+  EXPECT_EQ(di.constraint(0), di.constraint(2));
+}
+
+TEST(DisparateImpactTest, CappedByMinorityGroupSize) {
+  GroupSet groups = MakeGroups({100, 4});
+  GroupSet di = DisparateImpactConstraints(104, groups, 100, 0.8).ValueOrDie();
+  // Minority has 4 nodes: c_major limited to 5 (ceil(0.8*5)=4).
+  EXPECT_LE(di.constraint(1), 4u);
+  EXPECT_LE(di.constraint(0), 5u);
+}
+
+TEST(DisparateImpactTest, RejectsBadRatio) {
+  GroupSet groups = MakeGroups({10, 10});
+  EXPECT_TRUE(
+      DisparateImpactConstraints(20, groups, 10, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      DisparateImpactConstraints(20, groups, 10, 1.5).status().IsInvalidArgument());
+}
+
+TEST(DisparateImpactTest, RejectsZeroBudget) {
+  GroupSet groups = MakeGroups({10, 10});
+  EXPECT_TRUE(DisparateImpactConstraints(20, groups, 0, 0.8)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(SatisfiesDisparateImpactTest, Checks) {
+  EXPECT_TRUE(SatisfiesDisparateImpact({10, 8}, 0.8));
+  EXPECT_FALSE(SatisfiesDisparateImpact({10, 7}, 0.8));
+  EXPECT_TRUE(SatisfiesDisparateImpact({5, 5, 5}, 1.0));
+  EXPECT_TRUE(SatisfiesDisparateImpact({}, 0.8));
+  EXPECT_TRUE(SatisfiesDisparateImpact({0, 0}, 0.8));
+}
+
+}  // namespace
+}  // namespace fairsqg

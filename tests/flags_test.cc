@@ -1,0 +1,93 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace fairsqg {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser p;
+  p.DefineInt64("count", 10, "a count");
+  p.DefineDouble("eps", 0.01, "epsilon");
+  p.DefineString("dataset", "dbp", "dataset name");
+  p.DefineBool("verbose", false, "chatty output");
+  return p;
+}
+
+TEST(FlagParserTest, DefaultsWithoutArgs) {
+  FlagParser p = MakeParser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.Parse(1, argv).ok());
+  EXPECT_EQ(p.GetInt64("count"), 10);
+  EXPECT_DOUBLE_EQ(p.GetDouble("eps"), 0.01);
+  EXPECT_EQ(p.GetString("dataset"), "dbp");
+  EXPECT_FALSE(p.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, EqualsForm) {
+  FlagParser p = MakeParser();
+  const char* argv[] = {"prog", "--count=42", "--eps=0.5", "--dataset=lki",
+                        "--verbose=true"};
+  ASSERT_TRUE(p.Parse(5, argv).ok());
+  EXPECT_EQ(p.GetInt64("count"), 42);
+  EXPECT_DOUBLE_EQ(p.GetDouble("eps"), 0.5);
+  EXPECT_EQ(p.GetString("dataset"), "lki");
+  EXPECT_TRUE(p.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, SpaceForm) {
+  FlagParser p = MakeParser();
+  const char* argv[] = {"prog", "--count", "7", "--dataset", "cite"};
+  ASSERT_TRUE(p.Parse(5, argv).ok());
+  EXPECT_EQ(p.GetInt64("count"), 7);
+  EXPECT_EQ(p.GetString("dataset"), "cite");
+}
+
+TEST(FlagParserTest, BareBoolFlag) {
+  FlagParser p = MakeParser();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(p.Parse(2, argv).ok());
+  EXPECT_TRUE(p.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, PositionalArgsCollected) {
+  FlagParser p = MakeParser();
+  const char* argv[] = {"prog", "input.g", "--count=3", "out.g"};
+  ASSERT_TRUE(p.Parse(4, argv).ok());
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "input.g");
+  EXPECT_EQ(p.positional()[1], "out.g");
+}
+
+TEST(FlagParserTest, UnknownFlagRejected) {
+  FlagParser p = MakeParser();
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_TRUE(p.Parse(2, argv).IsInvalidArgument());
+}
+
+TEST(FlagParserTest, BadValueRejected) {
+  FlagParser p = MakeParser();
+  const char* argv[] = {"prog", "--count=abc"};
+  EXPECT_FALSE(p.Parse(2, argv).ok());
+  FlagParser q = MakeParser();
+  const char* argv2[] = {"prog", "--verbose=maybe"};
+  EXPECT_FALSE(q.Parse(2, argv2).ok());
+}
+
+TEST(FlagParserTest, MissingValueRejected) {
+  FlagParser p = MakeParser();
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_FALSE(p.Parse(2, argv).ok());
+}
+
+TEST(FlagParserTest, HelpListsAllFlags) {
+  FlagParser p = MakeParser();
+  std::string help = p.HelpString();
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("--eps"), std::string::npos);
+  EXPECT_NE(help.find("--dataset"), std::string::npos);
+  EXPECT_NE(help.find("--verbose"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairsqg

@@ -1,0 +1,99 @@
+#include "graph/graph_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace fairsqg {
+namespace {
+
+Graph MakeGraph() {
+  GraphBuilder b;
+  NodeId m = b.AddNode("movie");
+  NodeId d = b.AddNode("director");
+  b.SetAttr(m, "rating", AttrValue(7.5));
+  b.SetAttr(m, "year", AttrValue(int64_t{1999}));
+  b.SetAttr(m, "genre", AttrValue(std::string("action")));
+  b.AddEdge(d, m, "directed");
+  return std::move(b).Build().ValueOrDie();
+}
+
+TEST(GraphIoTest, RoundTrip) {
+  Graph g = MakeGraph();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteGraphText(g, out).ok());
+
+  std::istringstream in(out.str());
+  Result<Graph> r = ReadGraphText(in);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Graph& g2 = *r;
+
+  EXPECT_EQ(g2.num_nodes(), g.num_nodes());
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  AttrId rating = g2.schema().AttrIdOf("rating");
+  AttrId year = g2.schema().AttrIdOf("year");
+  AttrId genre = g2.schema().AttrIdOf("genre");
+  ASSERT_NE(g2.GetAttr(0, rating), nullptr);
+  EXPECT_TRUE(g2.GetAttr(0, rating)->is_double());
+  EXPECT_DOUBLE_EQ(g2.GetAttr(0, rating)->as_double(), 7.5);
+  ASSERT_NE(g2.GetAttr(0, year), nullptr);
+  EXPECT_TRUE(g2.GetAttr(0, year)->is_int());
+  EXPECT_EQ(g2.GetAttr(0, year)->as_int(), 1999);
+  EXPECT_EQ(g2.GetAttr(0, genre)->as_string(), "action");
+  LabelId directed = g2.schema().EdgeLabelId("directed");
+  EXPECT_TRUE(g2.HasEdge(1, 0, directed));
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  std::istringstream in(
+      "# header\n"
+      "\n"
+      "v 0 user yearsOfExp=i:10\n"
+      "# middle\n"
+      "v 1 user\n"
+      "e 0 1 knows\n");
+  Result<Graph> r = ReadGraphText(in);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_nodes(), 2u);
+  EXPECT_EQ(r->num_edges(), 1u);
+}
+
+TEST(GraphIoTest, RejectsNonDenseIds) {
+  std::istringstream in("v 1 user\n");
+  EXPECT_FALSE(ReadGraphText(in).ok());
+}
+
+TEST(GraphIoTest, RejectsBadEdge) {
+  std::istringstream in("v 0 user\ne 0 7 knows\n");
+  EXPECT_FALSE(ReadGraphText(in).ok());
+}
+
+TEST(GraphIoTest, RejectsMalformedAttr) {
+  std::istringstream in("v 0 user exp:10\n");
+  EXPECT_FALSE(ReadGraphText(in).ok());
+  std::istringstream in2("v 0 user exp=q:10\n");
+  EXPECT_FALSE(ReadGraphText(in2).ok());
+}
+
+TEST(GraphIoTest, RejectsUnknownRecord) {
+  std::istringstream in("x 0 1\n");
+  EXPECT_FALSE(ReadGraphText(in).ok());
+}
+
+TEST(GraphIoTest, FileNotFound) {
+  EXPECT_TRUE(ReadGraphFile("/nonexistent/path.g").status().IsIoError());
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  Graph g = MakeGraph();
+  std::string path = testing::TempDir() + "/fairsqg_io_test.g";
+  ASSERT_TRUE(WriteGraphFile(g, path).ok());
+  Result<Graph> r = ReadGraphFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_nodes(), 2u);
+}
+
+}  // namespace
+}  // namespace fairsqg

@@ -1,0 +1,157 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace fairsqg {
+namespace {
+
+// Small talent-search-like graph used across the graph tests.
+Graph MakeSampleGraph() {
+  GraphBuilder b;
+  NodeId u0 = b.AddNode("user");
+  NodeId u1 = b.AddNode("user");
+  NodeId u2 = b.AddNode("user");
+  NodeId org = b.AddNode("org");
+  b.SetAttr(u0, "yearsOfExp", AttrValue(int64_t{10}));
+  b.SetAttr(u0, "major", AttrValue(std::string("cs")));
+  b.SetAttr(u1, "yearsOfExp", AttrValue(int64_t{5}));
+  b.SetAttr(u1, "major", AttrValue(std::string("ee")));
+  b.SetAttr(u2, "yearsOfExp", AttrValue(int64_t{12}));
+  b.SetAttr(org, "employees", AttrValue(int64_t{1000}));
+  b.AddEdge(u0, u1, "recommend");
+  b.AddEdge(u1, u2, "recommend");
+  b.AddEdge(u0, org, "worksAt");
+  b.AddEdge(u1, org, "worksAt");
+  return std::move(b).Build().ValueOrDie();
+}
+
+TEST(GraphTest, CountsAndLabels) {
+  Graph g = MakeSampleGraph();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  LabelId user = g.schema().NodeLabelId("user");
+  LabelId org = g.schema().NodeLabelId("org");
+  EXPECT_EQ(g.node_label(0), user);
+  EXPECT_EQ(g.node_label(3), org);
+  EXPECT_EQ(g.NodesWithLabel(user).size(), 3u);
+  EXPECT_EQ(g.NodesWithLabel(org).size(), 1u);
+}
+
+TEST(GraphTest, UnknownLabelYieldsEmptySet) {
+  Graph g = MakeSampleGraph();
+  EXPECT_TRUE(g.NodesWithLabel(kInvalidLabel).empty());
+}
+
+TEST(GraphTest, AttributeLookup) {
+  Graph g = MakeSampleGraph();
+  AttrId years = g.schema().AttrIdOf("yearsOfExp");
+  AttrId major = g.schema().AttrIdOf("major");
+  ASSERT_NE(g.GetAttr(0, years), nullptr);
+  EXPECT_EQ(g.GetAttr(0, years)->as_int(), 10);
+  ASSERT_NE(g.GetAttr(0, major), nullptr);
+  EXPECT_EQ(g.GetAttr(0, major)->as_string(), "cs");
+  EXPECT_EQ(g.GetAttr(2, major), nullptr);  // u2 has no major.
+  EXPECT_EQ(g.GetAttr(3, years), nullptr);  // org has no yearsOfExp.
+}
+
+TEST(GraphTest, AttrTupleSortedByAttrId) {
+  Graph g = MakeSampleGraph();
+  auto tuple = g.attrs(0);
+  ASSERT_EQ(tuple.size(), 2u);
+  EXPECT_LT(tuple[0].attr, tuple[1].attr);
+}
+
+TEST(GraphTest, AdjacencyAndDegrees) {
+  Graph g = MakeSampleGraph();
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(0), 0u);
+  EXPECT_EQ(g.out_degree(3), 0u);
+  EXPECT_EQ(g.in_degree(3), 2u);
+  EXPECT_EQ(g.degree(1), 3u);
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(GraphTest, HasEdgeRespectsLabelAndDirection) {
+  Graph g = MakeSampleGraph();
+  LabelId rec = g.schema().EdgeLabelId("recommend");
+  LabelId works = g.schema().EdgeLabelId("worksAt");
+  EXPECT_TRUE(g.HasEdge(0, 1, rec));
+  EXPECT_FALSE(g.HasEdge(1, 0, rec));       // direction matters
+  EXPECT_FALSE(g.HasEdge(0, 1, works));     // label matters
+  EXPECT_TRUE(g.HasEdge(0, 3, works));
+  EXPECT_FALSE(g.HasEdge(2, 3, works));
+}
+
+TEST(GraphTest, DuplicateEdgesDeduplicated) {
+  GraphBuilder b;
+  NodeId a = b.AddNode("x");
+  NodeId c = b.AddNode("x");
+  b.AddEdge(a, c, "e");
+  b.AddEdge(a, c, "e");
+  b.AddEdge(a, c, "f");  // different label, kept
+  Graph g = std::move(b).Build().ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphTest, BuildRejectsOutOfRangeEdge) {
+  GraphBuilder b;
+  b.AddNode("x");
+  b.AddEdge(0, 5, "e");
+  EXPECT_TRUE(std::move(b).Build().status().IsInvalidArgument());
+}
+
+TEST(GraphTest, SetAttrOverwrites) {
+  GraphBuilder b;
+  NodeId v = b.AddNode("x");
+  b.SetAttr(v, "a", AttrValue(int64_t{1}));
+  b.SetAttr(v, "a", AttrValue(int64_t{2}));
+  Graph g = std::move(b).Build().ValueOrDie();
+  AttrId a = g.schema().AttrIdOf("a");
+  EXPECT_EQ(g.GetAttr(v, a)->as_int(), 2);
+  EXPECT_EQ(g.attrs(v).size(), 1u);
+}
+
+TEST(GraphTest, GlobalActiveDomainSortedUnique) {
+  Graph g = MakeSampleGraph();
+  AttrId years = g.schema().AttrIdOf("yearsOfExp");
+  const auto& dom = g.ActiveDomain(years);
+  ASSERT_EQ(dom.size(), 3u);
+  EXPECT_EQ(dom[0].as_int(), 5);
+  EXPECT_EQ(dom[1].as_int(), 10);
+  EXPECT_EQ(dom[2].as_int(), 12);
+}
+
+TEST(GraphTest, PerLabelActiveDomain) {
+  Graph g = MakeSampleGraph();
+  LabelId user = g.schema().NodeLabelId("user");
+  LabelId org = g.schema().NodeLabelId("org");
+  AttrId years = g.schema().AttrIdOf("yearsOfExp");
+  AttrId employees = g.schema().AttrIdOf("employees");
+  EXPECT_EQ(g.ActiveDomain(user, years).size(), 3u);
+  EXPECT_TRUE(g.ActiveDomain(org, years).empty());
+  EXPECT_EQ(g.ActiveDomain(org, employees).size(), 1u);
+  EXPECT_GE(g.MaxActiveDomainSize(), 3u);
+}
+
+TEST(GraphTest, EmptyGraphBuilds) {
+  GraphBuilder b;
+  Graph g = std::move(b).Build().ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(GraphTest, SchemaSharedAcrossBuilder) {
+  auto schema = std::make_shared<Schema>();
+  LabelId pre = schema->InternNodeLabel("movie");
+  GraphBuilder b(schema);
+  NodeId v = b.AddNode("movie");
+  Graph g = std::move(b).Build().ValueOrDie();
+  EXPECT_EQ(g.node_label(v), pre);
+  EXPECT_EQ(g.schema_ptr().get(), schema.get());
+}
+
+}  // namespace
+}  // namespace fairsqg

@@ -1,0 +1,97 @@
+#include "core/groups.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace fairsqg {
+namespace {
+
+TEST(GroupSetTest, CreateBasics) {
+  GroupSet g = GroupSet::Create(10, {{1, 2, 3}, {4, 5}}, {2, 1}).ValueOrDie();
+  EXPECT_EQ(g.num_groups(), 2u);
+  EXPECT_EQ(g.total_constraint(), 3u);
+  EXPECT_EQ(g.constraint(0), 2u);
+  EXPECT_EQ(g.group_of(2), 0u);
+  EXPECT_EQ(g.group_of(5), 1u);
+  EXPECT_EQ(g.group_of(0), GroupSet::kNoGroup);
+  EXPECT_EQ(g.group_of(99), GroupSet::kNoGroup);
+}
+
+TEST(GroupSetTest, RejectsOverlap) {
+  EXPECT_TRUE(GroupSet::Create(10, {{1, 2}, {2, 3}}, {1, 1})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(GroupSetTest, RejectsConstraintAboveSize) {
+  EXPECT_TRUE(GroupSet::Create(10, {{1, 2}}, {3}).status().IsInvalidArgument());
+}
+
+TEST(GroupSetTest, RejectsOutOfRangeNode) {
+  EXPECT_TRUE(GroupSet::Create(3, {{7}}, {1}).status().IsInvalidArgument());
+}
+
+TEST(GroupSetTest, RejectsArityMismatch) {
+  EXPECT_TRUE(GroupSet::Create(3, {{1}}, {1, 1}).status().IsInvalidArgument());
+}
+
+TEST(GroupSetTest, DeduplicatesWithinGroup) {
+  GroupSet g = GroupSet::Create(5, {{2, 2, 1}}, {2}).ValueOrDie();
+  EXPECT_EQ(g.group(0), NodeSet({1, 2}));
+}
+
+TEST(GroupSetTest, CoverageCounts) {
+  GroupSet g = GroupSet::Create(10, {{1, 2, 3}, {4, 5}}, {1, 1}).ValueOrDie();
+  std::vector<size_t> counts = g.CoverageCounts({1, 3, 4, 9});
+  EXPECT_EQ(counts, (std::vector<size_t>{2, 1}));
+  EXPECT_EQ(g.CoverageCounts({}), (std::vector<size_t>{0, 0}));
+}
+
+Graph MakeLabeledGraph() {
+  GraphBuilder b;
+  const char* genres[] = {"action", "action", "action", "romance",
+                          "romance", "horror", "horror", "horror"};
+  for (const char* genre : genres) {
+    NodeId v = b.AddNode("movie");
+    b.SetAttr(v, "genre", AttrValue(std::string(genre)));
+  }
+  NodeId d = b.AddNode("director");
+  b.AddEdge(d, 0, "directed");
+  return std::move(b).Build().ValueOrDie();
+}
+
+TEST(GroupSetTest, FromCategoricalAttrKeepsMostPopulous) {
+  Graph g = MakeLabeledGraph();
+  LabelId movie = g.schema().NodeLabelId("movie");
+  AttrId genre = g.schema().AttrIdOf("genre");
+  GroupSet groups =
+      GroupSet::FromCategoricalAttr(g, movie, genre, 2, 2).ValueOrDie();
+  EXPECT_EQ(groups.num_groups(), 2u);
+  // action (3) and horror (3) outrank romance (2).
+  EXPECT_EQ(groups.name(0), "action");
+  EXPECT_EQ(groups.name(1), "horror");
+  EXPECT_EQ(groups.group(0).size(), 3u);
+  EXPECT_EQ(groups.total_constraint(), 4u);
+}
+
+TEST(GroupSetTest, FromCategoricalAttrRejectsTooManyGroups) {
+  Graph g = MakeLabeledGraph();
+  LabelId movie = g.schema().NodeLabelId("movie");
+  AttrId genre = g.schema().AttrIdOf("genre");
+  EXPECT_TRUE(GroupSet::FromCategoricalAttr(g, movie, genre, 7, 1)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(GroupSetTest, FromCategoricalAttrRejectsHighCoverage) {
+  Graph g = MakeLabeledGraph();
+  LabelId movie = g.schema().NodeLabelId("movie");
+  AttrId genre = g.schema().AttrIdOf("genre");
+  EXPECT_TRUE(GroupSet::FromCategoricalAttr(g, movie, genre, 2, 10)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace fairsqg

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/graph_builder.h"
+#include "matching/subgraph_matcher.h"
+
+namespace fairsqg {
+namespace {
+
+// A director recommended by "two users" where only one distinct user
+// exists: homomorphism matches (both query users map to the same data
+// user), isomorphism does not.
+TEST(HomomorphismTest, NonInjectiveMappingOnlyUnderHomomorphism) {
+  auto schema = std::make_shared<Schema>();
+  GraphBuilder b(schema);
+  NodeId user = b.AddNode("user");
+  NodeId dir = b.AddNode("director");
+  b.AddEdge(user, dir, "recommend");
+  Graph g = std::move(b).Build().ValueOrDie();
+
+  QueryTemplate t(schema);
+  QNodeId u1 = t.AddNode("user");
+  QNodeId u2 = t.AddNode("user");
+  QNodeId d = t.AddNode("director");
+  t.SetOutputNode(d);
+  t.AddEdge(u1, d, "recommend");
+  t.AddEdge(u2, d, "recommend");
+  VariableDomains domains = VariableDomains::Build(g, t).ValueOrDie();
+  QueryInstance q = QueryInstance::Materialize(t, domains,
+                                               Instantiation::MostRelaxed(t));
+
+  SubgraphMatcher iso(g, MatchSemantics::kIsomorphism);
+  SubgraphMatcher hom(g, MatchSemantics::kHomomorphism);
+  EXPECT_TRUE(iso.MatchOutput(q).empty());
+  EXPECT_EQ(hom.MatchOutput(q), NodeSet({dir}));
+}
+
+// Homomorphism match sets always contain the isomorphism match sets.
+class HomomorphismSupersetTest : public testing::TestWithParam<int> {};
+
+TEST_P(HomomorphismSupersetTest, HomomorphismIsSupersetOfIsomorphism) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 131 + 17);
+  auto schema = std::make_shared<Schema>();
+  GraphBuilder b(schema);
+  const char* labels[] = {"a", "b"};
+  const int n = 12;
+  for (int i = 0; i < n; ++i) b.AddNode(labels[rng.NextBounded(2)]);
+  for (int i = 0; i < 28; ++i) {
+    NodeId from = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId to = static_cast<NodeId>(rng.NextBounded(n));
+    if (from != to) b.AddEdge(from, to, "e");
+  }
+  Graph g = std::move(b).Build().ValueOrDie();
+
+  QueryTemplate t(schema);
+  int qn = 3;
+  for (int i = 0; i < qn; ++i) t.AddNode(labels[rng.NextBounded(2)]);
+  t.SetOutputNode(0);
+  for (int i = 1; i < qn; ++i) {
+    QNodeId other = static_cast<QNodeId>(rng.NextBounded(i));
+    if (rng.NextBernoulli(0.5)) {
+      t.AddEdge(static_cast<QNodeId>(i), other, "e");
+    } else {
+      t.AddEdge(other, static_cast<QNodeId>(i), "e");
+    }
+  }
+  VariableDomains domains = VariableDomains::Build(g, t).ValueOrDie();
+  QueryInstance q = QueryInstance::Materialize(t, domains,
+                                               Instantiation::MostRelaxed(t));
+
+  SubgraphMatcher iso(g, MatchSemantics::kIsomorphism);
+  SubgraphMatcher hom(g, MatchSemantics::kHomomorphism);
+  NodeSet iso_matches = iso.MatchOutput(q);
+  NodeSet hom_matches = hom.MatchOutput(q);
+  EXPECT_TRUE(std::includes(hom_matches.begin(), hom_matches.end(),
+                            iso_matches.begin(), iso_matches.end()))
+      << "homomorphism answers must contain isomorphism answers";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HomomorphismSupersetTest, testing::Range(0, 12));
+
+}  // namespace
+}  // namespace fairsqg

@@ -1,0 +1,98 @@
+#include "core/indicators.h"
+
+#include <gtest/gtest.h>
+
+namespace fairsqg {
+namespace {
+
+EvaluatedPtr MakePoint(double diversity, double coverage) {
+  auto e = std::make_shared<EvaluatedInstance>();
+  e->obj = {diversity, coverage};
+  e->feasible = true;
+  return e;
+}
+
+TEST(EpsilonIndicatorTest, PerfectForSupersetSolution) {
+  std::vector<EvaluatedPtr> ref = {MakePoint(1, 5), MakePoint(5, 1),
+                                   MakePoint(3, 3)};
+  auto r = EpsilonIndicator(ref, ref, 0.1);
+  EXPECT_DOUBLE_EQ(r.eps_m, 0.0);
+  EXPECT_DOUBLE_EQ(r.indicator, 1.0);
+}
+
+TEST(EpsilonIndicatorTest, ParetoSubsetIsPerfect) {
+  std::vector<EvaluatedPtr> ref = {MakePoint(1, 5), MakePoint(5, 1),
+                                   MakePoint(1, 1)};
+  std::vector<EvaluatedPtr> sol = {MakePoint(1, 5), MakePoint(5, 1)};
+  auto r = EpsilonIndicator(sol, ref, 0.1);
+  EXPECT_DOUBLE_EQ(r.eps_m, 0.0);
+  EXPECT_DOUBLE_EQ(r.indicator, 1.0);
+}
+
+TEST(EpsilonIndicatorTest, KnownGap) {
+  // Solution {(3,3)} vs reference point (7,3): needs (1+e)(1+3) >= 8,
+  // i.e. e = 1.0.
+  std::vector<EvaluatedPtr> ref = {MakePoint(7, 3)};
+  std::vector<EvaluatedPtr> sol = {MakePoint(3, 3)};
+  auto r = EpsilonIndicator(sol, ref, 2.0);
+  EXPECT_NEAR(r.eps_m, 1.0, 1e-12);
+  EXPECT_NEAR(r.indicator, 0.5, 1e-12);
+}
+
+TEST(EpsilonIndicatorTest, IndicatorClampedToZero) {
+  std::vector<EvaluatedPtr> ref = {MakePoint(7, 3)};
+  std::vector<EvaluatedPtr> sol = {MakePoint(3, 3)};
+  auto r = EpsilonIndicator(sol, ref, 0.01);  // eps_m = 1.0 >> 0.01.
+  EXPECT_DOUBLE_EQ(r.indicator, 0.0);
+}
+
+TEST(EpsilonIndicatorTest, BestCoveringMemberChosenPerPoint) {
+  std::vector<EvaluatedPtr> ref = {MakePoint(10, 1), MakePoint(1, 10)};
+  std::vector<EvaluatedPtr> sol = {MakePoint(10, 1), MakePoint(1, 10)};
+  auto r = EpsilonIndicator(sol, ref, 0.5);
+  EXPECT_DOUBLE_EQ(r.eps_m, 0.0);
+}
+
+TEST(EpsilonIndicatorTest, EmptySolutionScoresZero) {
+  std::vector<EvaluatedPtr> ref = {MakePoint(1, 1)};
+  auto r = EpsilonIndicator({}, ref, 0.1);
+  EXPECT_DOUBLE_EQ(r.indicator, 0.0);
+  EXPECT_TRUE(std::isinf(r.eps_m));
+}
+
+TEST(EpsilonIndicatorTest, EmptyReferenceScoresOne) {
+  std::vector<EvaluatedPtr> sol = {MakePoint(1, 1)};
+  EXPECT_DOUBLE_EQ(EpsilonIndicator(sol, {}, 0.1).indicator, 1.0);
+  EXPECT_DOUBLE_EQ(EpsilonIndicator({}, {}, 0.1).indicator, 1.0);
+}
+
+TEST(RIndicatorTest, WeightsShiftPreference) {
+  std::vector<EvaluatedPtr> sol = {MakePoint(8, 2)};
+  // delta_max = 10, f_max = 10 -> d* = 0.8, f* = 0.2.
+  EXPECT_NEAR(RIndicator(sol, 0.0, 10, 10), 0.8, 1e-12);
+  EXPECT_NEAR(RIndicator(sol, 1.0, 10, 10), 0.2, 1e-12);
+  EXPECT_NEAR(RIndicator(sol, 0.5, 10, 10), 0.5, 1e-12);
+}
+
+TEST(RIndicatorTest, TakesBestPerObjectiveAcrossMembers) {
+  std::vector<EvaluatedPtr> sol = {MakePoint(8, 1), MakePoint(2, 9)};
+  // d* = 0.8 from the first member, f* = 0.9 from the second.
+  EXPECT_NEAR(RIndicator(sol, 0.5, 10, 10), 0.85, 1e-12);
+}
+
+TEST(RIndicatorTest, ZeroNormalizersHandled) {
+  std::vector<EvaluatedPtr> sol = {MakePoint(1, 1)};
+  EXPECT_DOUBLE_EQ(RIndicator(sol, 0.5, 0, 0), 0.0);
+}
+
+TEST(MaxObjectivesTest, Basics) {
+  std::vector<EvaluatedPtr> v = {MakePoint(3, 7), MakePoint(5, 2)};
+  Objectives best = MaxObjectives(v);
+  EXPECT_DOUBLE_EQ(best.diversity, 5);
+  EXPECT_DOUBLE_EQ(best.coverage, 7);
+  Objectives none = MaxObjectives({});
+  EXPECT_DOUBLE_EQ(none.diversity, 0);
+}
+
+}  // namespace
+}  // namespace fairsqg

@@ -1,0 +1,125 @@
+#include "query/instance.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace fairsqg {
+namespace {
+
+struct Fixture {
+  std::shared_ptr<Schema> schema = std::make_shared<Schema>();
+  Graph graph;
+  QueryTemplate tmpl;
+  VariableDomains domains;
+
+  // Template: u0(user) -[recommend]-> u1(director=u_o) <-[xe0: recommend]- u2(user),
+  //           u2 -[xe1: worksAt]-> u3(org); range var x0 on u0.yearsOfExp.
+  Fixture() : graph(MakeGraph()), tmpl(schema), domains(MakeTemplate()) {}
+
+  Graph MakeGraph() {
+    GraphBuilder b(schema);
+    NodeId u = b.AddNode("user");
+    b.SetAttr(u, "yearsOfExp", AttrValue(int64_t{10}));
+    NodeId d = b.AddNode("director");
+    NodeId u2 = b.AddNode("user");
+    b.SetAttr(u2, "yearsOfExp", AttrValue(int64_t{4}));
+    NodeId org = b.AddNode("org");
+    b.AddEdge(u, d, "recommend");
+    b.AddEdge(u2, d, "recommend");
+    b.AddEdge(u2, org, "worksAt");
+    return std::move(b).Build().ValueOrDie();
+  }
+
+  VariableDomains MakeTemplate() {
+    QNodeId u0 = tmpl.AddNode("user");
+    QNodeId u1 = tmpl.AddNode("director");
+    QNodeId u2 = tmpl.AddNode("user");
+    QNodeId u3 = tmpl.AddNode("org");
+    tmpl.SetOutputNode(u1);
+    tmpl.AddRangeLiteral(u0, "yearsOfExp", CompareOp::kGe);  // x0
+    tmpl.AddEdge(u0, u1, "recommend");
+    tmpl.AddVariableEdge(u2, u1, "recommend");  // e0
+    tmpl.AddVariableEdge(u2, u3, "worksAt");    // e1
+    return VariableDomains::Build(graph, tmpl).ValueOrDie();
+  }
+};
+
+TEST(QueryInstanceTest, AllEdgesOnKeepsAllNodes) {
+  Fixture f;
+  Instantiation i({0}, {1, 1});
+  QueryInstance q = QueryInstance::Materialize(f.tmpl, f.domains, i);
+  EXPECT_EQ(q.active_nodes().size(), 4u);
+  EXPECT_EQ(q.active_edges().size(), 3u);
+  EXPECT_EQ(q.output_node(), 1u);
+}
+
+TEST(QueryInstanceTest, DroppingEdgeVarPrunesComponent) {
+  Fixture f;
+  // e0 off: u2 and u3 disconnect from the output component.
+  Instantiation i({0}, {0, 1});
+  QueryInstance q = QueryInstance::Materialize(f.tmpl, f.domains, i);
+  EXPECT_EQ(q.active_nodes(), (std::vector<QNodeId>{0, 1}));
+  EXPECT_EQ(q.active_edges().size(), 1u);
+  EXPECT_FALSE(q.is_active(2));
+  EXPECT_FALSE(q.is_active(3));
+}
+
+TEST(QueryInstanceTest, EdgeInsideDetachedComponentDropped) {
+  Fixture f;
+  // e0 off but e1 on: the u2-u3 edge exists but lies outside u_o's
+  // component, so the instance keeps only the u0->u1 edge.
+  Instantiation i({0}, {0, 1});
+  QueryInstance q = QueryInstance::Materialize(f.tmpl, f.domains, i);
+  ASSERT_EQ(q.active_edges().size(), 1u);
+  EXPECT_EQ(q.active_edges()[0].from, 0u);
+  EXPECT_EQ(q.active_edges()[0].to, 1u);
+}
+
+TEST(QueryInstanceTest, WildcardDropsLiteral) {
+  Fixture f;
+  Instantiation i({kWildcardBinding}, {1, 1});
+  QueryInstance q = QueryInstance::Materialize(f.tmpl, f.domains, i);
+  EXPECT_TRUE(q.literals_of(0).empty());
+}
+
+TEST(QueryInstanceTest, BoundLiteralResolvesDomainValue) {
+  Fixture f;
+  // Domain of x0 ascending: {4, 10}; index 1 -> 10.
+  Instantiation i({1}, {1, 1});
+  QueryInstance q = QueryInstance::Materialize(f.tmpl, f.domains, i);
+  ASSERT_EQ(q.literals_of(0).size(), 1u);
+  const BoundLiteral& l = q.literals_of(0)[0];
+  EXPECT_EQ(l.op, CompareOp::kGe);
+  EXPECT_EQ(l.value.as_int(), 10);
+}
+
+TEST(QueryInstanceTest, FixedLiteralAlwaysPresent) {
+  auto schema = std::make_shared<Schema>();
+  GraphBuilder b(schema);
+  NodeId v = b.AddNode("movie");
+  b.SetAttr(v, "rating", AttrValue(7.5));
+  Graph g = std::move(b).Build().ValueOrDie();
+
+  QueryTemplate t(schema);
+  QNodeId m = t.AddNode("movie");
+  t.AddLiteral(m, "rating", CompareOp::kGt, AttrValue(7.0));
+  VariableDomains d = VariableDomains::Build(g, t).ValueOrDie();
+  QueryInstance q =
+      QueryInstance::Materialize(t, d, Instantiation::MostRelaxed(t));
+  ASSERT_EQ(q.literals_of(m).size(), 1u);
+  EXPECT_DOUBLE_EQ(q.literals_of(m)[0].value.as_double(), 7.0);
+}
+
+TEST(QueryInstanceTest, ToStringListsActivePartsOnly) {
+  Fixture f;
+  Instantiation i({0}, {0, 1});
+  QueryInstance q = QueryInstance::Materialize(f.tmpl, f.domains, i);
+  std::string s = q.ToString();
+  EXPECT_NE(s.find("u0"), std::string::npos);
+  EXPECT_NE(s.find("u1"), std::string::npos);
+  EXPECT_EQ(s.find("u3"), std::string::npos);  // Outside the component.
+}
+
+}  // namespace
+}  // namespace fairsqg

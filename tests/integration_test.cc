@@ -1,0 +1,95 @@
+// End-to-end integration: dataset generation -> template sampling ->
+// scenario assembly -> all algorithms -> indicators, across all three
+// datasets, at a tiny scale. This is the full per-figure bench pipeline in
+// miniature.
+
+#include <gtest/gtest.h>
+
+#include "core/bi_qgen.h"
+#include "core/enum_qgen.h"
+#include "core/enumerate.h"
+#include "core/indicators.h"
+#include "core/kungs.h"
+#include "core/online_qgen.h"
+#include "core/parallel_qgen.h"
+#include "core/rf_qgen.h"
+#include "workload/instance_stream.h"
+#include "workload/scenario.h"
+
+namespace fairsqg {
+namespace {
+
+class PipelineTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(PipelineTest, FullPipelineOnEveryDataset) {
+  ScenarioOptions options;
+  options.dataset = GetParam();
+  options.scale = 0.06;
+  options.seed = 11;
+  options.num_edges = 3;
+  options.num_range_vars = 2;
+  options.num_edge_vars = 1;
+  options.num_groups = 2;
+  options.coverage_fraction = 0.5;
+  options.max_domain_values = 5;
+  Result<Scenario> scenario_or = MakeScenario(options);
+  ASSERT_TRUE(scenario_or.ok()) << scenario_or.status().ToString();
+  Scenario s = std::move(scenario_or).ValueOrDie();
+  QGenConfig config = s.MakeConfig(0.05);
+
+  // Ground truth.
+  InstanceVerifier verifier(config);
+  GenStats stats;
+  auto all = VerifyAllInstances(config, &verifier, &stats).ValueOrDie();
+  auto feasible = FeasibleOnly(all);
+  ASSERT_FALSE(feasible.empty());
+
+  // Exact baseline scores a perfect indicator.
+  QGenResult kungs = Kungs::Run(config).ValueOrDie();
+  auto kungs_ind = EpsilonIndicator(kungs.pareto, feasible, config.epsilon);
+  EXPECT_DOUBLE_EQ(kungs_ind.indicator, 1.0) << GetParam();
+
+  // Every approximate algorithm delivers an ε-Pareto set.
+  for (auto [name, result] :
+       {std::pair{"Enum", EnumQGen::Run(config).ValueOrDie()},
+        std::pair{"Rf", RfQGen::Run(config).ValueOrDie()},
+        std::pair{"Bi", BiQGen::Run(config).ValueOrDie()},
+        std::pair{"Par", ParallelQGen::Run(config, 3).ValueOrDie()}}) {
+    ASSERT_FALSE(result.pareto.empty()) << name << " on " << GetParam();
+    for (const EvaluatedPtr& x : feasible) {
+      bool covered = false;
+      for (const EvaluatedPtr& m : result.pareto) {
+        if (EpsilonDominates(m->obj, x->obj, config.epsilon + 1e-9)) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered) << name << " on " << GetParam();
+    }
+    // No algorithm verifies more instances than the enumeration bound.
+    EXPECT_LE(result.stats.verified, all.size()) << name;
+  }
+
+  // Online maintenance over a deduplicated stream of the whole space
+  // keeps its size bound and ends with feasible members.
+  OnlineConfig online;
+  online.k = 5;
+  online.window = 20;
+  online.initial_epsilon = config.epsilon;
+  OnlineQGen gen(config, online);
+  InstanceStream stream(*s.tmpl, *s.domains, 3, /*dedup=*/true);
+  Instantiation inst;
+  while (stream.Next(&inst)) {
+    gen.Process(inst);
+    ASSERT_LE(gen.size(), online.k);
+  }
+  EXPECT_GT(gen.size(), 0u);
+  for (const EvaluatedPtr& m : gen.Current()) EXPECT_TRUE(m->feasible);
+  EXPECT_GE(gen.epsilon(), config.epsilon);
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, PipelineTest,
+                         testing::Values("dbp", "lki", "cite"));
+
+}  // namespace
+}  // namespace fairsqg

@@ -1,0 +1,208 @@
+#include "core/measures.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "graph/graph_builder.h"
+
+namespace fairsqg {
+namespace {
+
+// Four movies: two identical action movies, one different romance, one with
+// a missing genre; degrees 3, 2, 1, 0 via "directed" edges from a director.
+struct Fixture {
+  Graph graph = MakeGraph();
+  LabelId movie;
+
+  static Graph MakeGraph() {
+    GraphBuilder b;
+    NodeId m0 = b.AddNode("movie");
+    b.SetAttr(m0, "genre", AttrValue(std::string("action")));
+    b.SetAttr(m0, "rating", AttrValue(6.0));
+    NodeId m1 = b.AddNode("movie");
+    b.SetAttr(m1, "genre", AttrValue(std::string("action")));
+    b.SetAttr(m1, "rating", AttrValue(6.0));
+    NodeId m2 = b.AddNode("movie");
+    b.SetAttr(m2, "genre", AttrValue(std::string("romance")));
+    b.SetAttr(m2, "rating", AttrValue(9.0));
+    NodeId m3 = b.AddNode("movie");
+    b.SetAttr(m3, "rating", AttrValue(3.0));
+    NodeId d0 = b.AddNode("director");
+    NodeId d1 = b.AddNode("director");
+    NodeId d2 = b.AddNode("director");
+    b.AddEdge(d0, m0, "directed");
+    b.AddEdge(d1, m0, "directed");
+    b.AddEdge(d2, m0, "directed");
+    b.AddEdge(d0, m1, "directed");
+    b.AddEdge(d1, m1, "directed");
+    b.AddEdge(d0, m2, "directed");
+    return std::move(b).Build().ValueOrDie();
+  }
+
+  Fixture() { movie = graph.schema().NodeLabelId("movie"); }
+};
+
+TEST(DiversityTest, IdenticalNodesHaveZeroDistance) {
+  Fixture f;
+  DiversityEvaluator eval(f.graph, f.movie, DiversityConfig{});
+  EXPECT_DOUBLE_EQ(eval.Distance(0, 1), 0.0);
+}
+
+TEST(DiversityTest, DistanceSymmetricAndBounded) {
+  Fixture f;
+  DiversityEvaluator eval(f.graph, f.movie, DiversityConfig{});
+  for (NodeId a = 0; a < 4; ++a) {
+    for (NodeId b = 0; b < 4; ++b) {
+      double d = eval.Distance(a, b);
+      EXPECT_GE(d, 0.0);
+      EXPECT_LE(d, 1.0);
+      EXPECT_DOUBLE_EQ(d, eval.Distance(b, a));
+    }
+  }
+  EXPECT_DOUBLE_EQ(eval.Distance(2, 2), 0.0);
+}
+
+TEST(DiversityTest, MissingAttributeCountsAsDifferent) {
+  Fixture f;
+  DiversityEvaluator eval(f.graph, f.movie, DiversityConfig{});
+  // m3 lacks genre; m0 has it -> genre contributes 1; rating |6-3|/6 = 0.5.
+  // Average over 2 attrs: 0.75.
+  EXPECT_NEAR(eval.Distance(0, 3), 0.75, 1e-9);
+}
+
+TEST(DiversityTest, NumericDistanceNormalizedByRange) {
+  Fixture f;
+  DiversityEvaluator eval(f.graph, f.movie, DiversityConfig{});
+  // genre differs by the normalized edit distance of the two strings;
+  // rating |6-9|/range(6) = 0.5; the distance averages over both attrs.
+  double genre_d = NormalizedEditDistance("action", "romance");
+  EXPECT_NEAR(eval.Distance(0, 2), (genre_d + 0.5) / 2.0, 1e-9);
+}
+
+TEST(DiversityTest, RelevanceIsNormalizedDegree) {
+  Fixture f;
+  DiversityEvaluator eval(f.graph, f.movie, DiversityConfig{});
+  EXPECT_DOUBLE_EQ(eval.Relevance(0), 1.0);        // degree 3 of max 3.
+  EXPECT_NEAR(eval.Relevance(1), 2.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(eval.Relevance(3), 0.0);
+}
+
+TEST(DiversityTest, LambdaZeroIsPureRelevance) {
+  Fixture f;
+  DiversityConfig cfg;
+  cfg.lambda = 0.0;
+  DiversityEvaluator eval(f.graph, f.movie, cfg);
+  double expected = eval.Relevance(0) + eval.Relevance(2);
+  EXPECT_NEAR(eval.Diversity({0, 2}), expected, 1e-9);
+}
+
+TEST(DiversityTest, LambdaOneIsPureDissimilarity) {
+  Fixture f;
+  DiversityConfig cfg;
+  cfg.lambda = 1.0;
+  DiversityEvaluator eval(f.graph, f.movie, cfg);
+  // |V_movie| = 4 -> scale 2*1/(4-1) = 2/3.
+  double expected = (2.0 / 3.0) * eval.Distance(0, 2);
+  EXPECT_NEAR(eval.Diversity({0, 2}), expected, 1e-9);
+}
+
+TEST(DiversityTest, EmptyAndSingletonSets) {
+  Fixture f;
+  DiversityEvaluator eval(f.graph, f.movie, DiversityConfig{});
+  EXPECT_DOUBLE_EQ(eval.Diversity({}), 0.0);
+  EXPECT_GE(eval.Diversity({0}), 0.0);
+}
+
+TEST(DiversityTest, MonotoneUnderSupersets) {
+  // Lemma 2's diversity direction: adding matches never lowers δ.
+  Fixture f;
+  DiversityEvaluator eval(f.graph, f.movie, DiversityConfig{});
+  double d2 = eval.Diversity({0, 2});
+  double d3 = eval.Diversity({0, 2, 3});
+  double d4 = eval.Diversity({0, 1, 2, 3});
+  EXPECT_LE(d2, d3);
+  EXPECT_LE(d3, d4);
+  EXPECT_LE(d4, eval.MaxDiversity());
+}
+
+TEST(DiversityTest, CustomRelevanceFn) {
+  Fixture f;
+  DiversityConfig cfg;
+  cfg.lambda = 0.0;
+  cfg.relevance = [](const Graph&, NodeId) { return 0.25; };
+  DiversityEvaluator eval(f.graph, f.movie, cfg);
+  EXPECT_NEAR(eval.Diversity({0, 1, 2, 3}), 1.0, 1e-9);
+}
+
+TEST(CoverageTest, ExactCoverageScoresMax) {
+  GroupSet groups = GroupSet::Create(10, {{0, 1, 2}, {5, 6}}, {2, 1}).ValueOrDie();
+  CoverageEvaluator eval(groups);
+  CoverageResult r = eval.Evaluate({0, 1, 5});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.value, 3.0);  // C = 3, zero error.
+  EXPECT_EQ(r.per_group, (std::vector<size_t>{2, 1}));
+}
+
+TEST(CoverageTest, OverCoveragePenalized) {
+  GroupSet groups = GroupSet::Create(10, {{0, 1, 2}, {5, 6}}, {1, 1}).ValueOrDie();
+  CoverageEvaluator eval(groups);
+  CoverageResult r = eval.Evaluate({0, 1, 2, 5});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);  // C=2, error |3-1| + |1-1| = 2.
+}
+
+TEST(CoverageTest, UnderCoverageInfeasible) {
+  GroupSet groups = GroupSet::Create(10, {{0, 1, 2}, {5, 6}}, {2, 2}).ValueOrDie();
+  CoverageEvaluator eval(groups);
+  CoverageResult r = eval.Evaluate({0, 5, 6});
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(CoverageTest, ValueClampedToZero) {
+  GroupSet groups = GroupSet::Create(10, {{0, 1, 2, 3, 4}}, {1}).ValueOrDie();
+  CoverageEvaluator eval(groups);
+  CoverageResult r = eval.Evaluate({0, 1, 2, 3, 4});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);  // C=1, error 4 -> clamp.
+  EXPECT_DOUBLE_EQ(eval.MaxCoverage(), 1.0);
+}
+
+TEST(CoverageTest, NonGroupNodesIgnored) {
+  GroupSet groups = GroupSet::Create(10, {{0}, {1}}, {1, 1}).ValueOrDie();
+  CoverageEvaluator eval(groups);
+  CoverageResult r = eval.Evaluate({0, 1, 7, 8, 9});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.value, 2.0);
+}
+
+TEST(CoverageTest, CoverageMonotonicityForFeasiblePairs) {
+  // Lemma 2 (2): if S' ⊆ S and both feasible, then f(S) <= f(S').
+  Rng rng(7);
+  GroupSet groups =
+      GroupSet::Create(40, {{0, 1, 2, 3, 4, 5}, {10, 11, 12, 13}}, {2, 1})
+          .ValueOrDie();
+  CoverageEvaluator eval(groups);
+  for (int trial = 0; trial < 500; ++trial) {
+    NodeSet big;
+    for (NodeId v = 0; v < 40; ++v) {
+      if (rng.NextBernoulli(0.5)) big.push_back(v);
+    }
+    NodeSet small;
+    for (NodeId v : big) {
+      if (rng.NextBernoulli(0.7)) small.push_back(v);
+    }
+    CoverageResult rb = eval.Evaluate(big);
+    CoverageResult rs = eval.Evaluate(small);
+    if (rb.feasible && rs.feasible) {
+      EXPECT_LE(rb.value, rs.value)
+          << "superset must not score higher when both feasible";
+    }
+    if (!rb.feasible) {
+      EXPECT_FALSE(rs.feasible) << "subset of infeasible set must be infeasible";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fairsqg

@@ -1,0 +1,72 @@
+#include "graph/neighborhood.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace fairsqg {
+namespace {
+
+// Path graph 0 -> 1 -> 2 -> 3 -> 4 plus an isolated node 5.
+Graph MakePath() {
+  GraphBuilder b;
+  for (int i = 0; i < 6; ++i) b.AddNode("n");
+  for (NodeId i = 0; i < 4; ++i) b.AddEdge(i, i + 1, "e");
+  return std::move(b).Build().ValueOrDie();
+}
+
+TEST(NeighborhoodTest, ZeroHopsIsSeedsOnly) {
+  Graph g = MakePath();
+  NodeSet n = DHopNeighborhood(g, {2}, 0);
+  EXPECT_EQ(n, NodeSet({2}));
+}
+
+TEST(NeighborhoodTest, OneHopUndirected) {
+  Graph g = MakePath();
+  // BFS ignores direction: node 2 reaches 1 (in) and 3 (out).
+  NodeSet n = DHopNeighborhood(g, {2}, 1);
+  EXPECT_EQ(n, NodeSet({1, 2, 3}));
+}
+
+TEST(NeighborhoodTest, TwoHops) {
+  Graph g = MakePath();
+  NodeSet n = DHopNeighborhood(g, {2}, 2);
+  EXPECT_EQ(n, NodeSet({0, 1, 2, 3, 4}));
+}
+
+TEST(NeighborhoodTest, IsolatedNodeNeverReached) {
+  Graph g = MakePath();
+  NodeSet n = DHopNeighborhood(g, {0}, 10);
+  EXPECT_EQ(n, NodeSet({0, 1, 2, 3, 4}));
+}
+
+TEST(NeighborhoodTest, MultipleSeeds) {
+  Graph g = MakePath();
+  NodeSet n = DHopNeighborhood(g, {0, 5}, 1);
+  EXPECT_EQ(n, NodeSet({0, 1, 5}));
+}
+
+TEST(NeighborhoodTest, EmptySeeds) {
+  Graph g = MakePath();
+  EXPECT_TRUE(DHopNeighborhood(g, {}, 3).empty());
+}
+
+TEST(NeighborhoodTest, MaskMatchesSet) {
+  Graph g = MakePath();
+  NodeSet seeds = {1};
+  std::vector<bool> mask = DHopMask(g, seeds, 2);
+  NodeSet from_mask;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (mask[v]) from_mask.push_back(v);
+  }
+  EXPECT_EQ(from_mask, DHopNeighborhood(g, seeds, 2));
+}
+
+TEST(NeighborhoodTest, OutOfRangeSeedIgnored) {
+  Graph g = MakePath();
+  NodeSet n = DHopNeighborhood(g, {999}, 1);
+  EXPECT_TRUE(n.empty());
+}
+
+}  // namespace
+}  // namespace fairsqg

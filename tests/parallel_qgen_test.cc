@@ -1,0 +1,76 @@
+#include "core/parallel_qgen.h"
+
+#include <gtest/gtest.h>
+
+#include "core/enum_qgen.h"
+#include "core/enumerate.h"
+#include "core/indicators.h"
+#include "scenario_fixture.h"
+
+namespace fairsqg {
+namespace {
+
+TEST(ParallelQGenTest, MatchesSequentialEnumQGenCoverage) {
+  SmallScenario s;
+  QGenConfig config = s.Config(0.05);
+  QGenResult seq = EnumQGen::Run(config).ValueOrDie();
+  QGenResult par = ParallelQGen::Run(config, 4).ValueOrDie();
+
+  EXPECT_EQ(par.stats.verified, seq.stats.verified);
+  EXPECT_EQ(par.stats.feasible, seq.stats.feasible);
+
+  // Both must ε-cover the full feasible space; the member sets may differ
+  // (arrival order differs) but the quality guarantee is identical.
+  InstanceVerifier verifier(config);
+  GenStats stats;
+  auto all = VerifyAllInstances(config, &verifier, &stats).ValueOrDie();
+  auto feasible = FeasibleOnly(all);
+  for (const auto& result : {seq, par}) {
+    for (const EvaluatedPtr& x : feasible) {
+      bool covered = false;
+      for (const EvaluatedPtr& m : result.pareto) {
+        if (EpsilonDominates(m->obj, x->obj, config.epsilon + 1e-9)) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered);
+    }
+  }
+}
+
+TEST(ParallelQGenTest, DeterministicResultAcrossThreadCounts) {
+  SmallScenario s;
+  QGenConfig config = s.Config(0.05);
+  QGenResult one = ParallelQGen::Run(config, 1).ValueOrDie();
+  QGenResult eight = ParallelQGen::Run(config, 8).ValueOrDie();
+  // Instance coordinates are deterministic, so best objectives agree.
+  Objectives b1 = MaxObjectives(one.pareto);
+  Objectives b8 = MaxObjectives(eight.pareto);
+  EXPECT_DOUBLE_EQ(b1.diversity, b8.diversity);
+  EXPECT_DOUBLE_EQ(b1.coverage, b8.coverage);
+}
+
+TEST(ParallelQGenTest, MoreThreadsThanInstances) {
+  SmallScenario s;
+  QGenConfig config = s.Config(0.2);
+  QGenResult r = ParallelQGen::Run(config, 1000).ValueOrDie();
+  EXPECT_GT(r.pareto.size(), 0u);
+  EXPECT_EQ(r.stats.verified,
+            s.domains->InstanceSpaceSize(*s.tmpl));
+}
+
+TEST(ParallelQGenTest, DefaultThreadCount) {
+  SmallScenario s;
+  QGenConfig config = s.Config(0.2);
+  QGenResult r = ParallelQGen::Run(config).ValueOrDie();
+  EXPECT_GT(r.pareto.size(), 0u);
+}
+
+TEST(ParallelQGenTest, InvalidConfigRejected) {
+  QGenConfig empty;
+  EXPECT_FALSE(ParallelQGen::Run(empty, 2).ok());
+}
+
+}  // namespace
+}  // namespace fairsqg

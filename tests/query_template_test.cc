@@ -1,0 +1,132 @@
+#include "query/query_template.h"
+
+#include <gtest/gtest.h>
+
+namespace fairsqg {
+namespace {
+
+std::shared_ptr<Schema> MakeSchema() { return std::make_shared<Schema>(); }
+
+TEST(QueryTemplateTest, BuildTalentSearchTemplate) {
+  // The Fig. 1 template: director u_o recommended by users u1, u2 working
+  // at an org u4, with range variables on yearsOfExp and employees.
+  QueryTemplate t(MakeSchema());
+  QNodeId uo = t.AddNode("director");
+  QNodeId u1 = t.AddNode("user");
+  QNodeId u2 = t.AddNode("user");
+  QNodeId u4 = t.AddNode("org");
+  t.SetOutputNode(uo);
+  t.AddLiteral(uo, "domain", CompareOp::kEq, AttrValue(std::string("IT")));
+  RangeVarId x1 = t.AddRangeLiteral(u1, "yearsOfExp", CompareOp::kGe);
+  RangeVarId x2 = t.AddRangeLiteral(u2, "yearsOfExp", CompareOp::kGe);
+  RangeVarId x3 = t.AddRangeLiteral(u4, "employees", CompareOp::kGe);
+  t.AddEdge(u1, uo, "recommend");
+  EdgeVarId e1 = t.AddVariableEdge(u2, uo, "recommend");
+  t.AddEdge(u1, u4, "worksAt");
+  EdgeVarId e2 = t.AddVariableEdge(u2, u4, "worksAt");
+
+  EXPECT_EQ(t.num_nodes(), 4u);
+  EXPECT_EQ(t.num_edges(), 4u);
+  EXPECT_EQ(t.num_range_vars(), 3u);
+  EXPECT_EQ(t.num_edge_vars(), 2u);
+  EXPECT_EQ(t.num_vars(), 5u);
+  EXPECT_EQ(t.output_node(), uo);
+  EXPECT_EQ(x1, 0u);
+  EXPECT_EQ(x2, 1u);
+  EXPECT_EQ(x3, 2u);
+  EXPECT_EQ(e1, 0u);
+  EXPECT_EQ(e2, 1u);
+  EXPECT_TRUE(t.Validate().ok()) << t.Validate().ToString();
+}
+
+TEST(QueryTemplateTest, LiteralsOfNode) {
+  QueryTemplate t(MakeSchema());
+  QNodeId a = t.AddNode("x");
+  QNodeId b = t.AddNode("y");
+  t.AddEdge(a, b, "e");
+  t.AddLiteral(a, "p", CompareOp::kGe, AttrValue(int64_t{1}));
+  t.AddRangeLiteral(a, "q", CompareOp::kLe);
+  EXPECT_EQ(t.literals_of(a).size(), 2u);
+  EXPECT_TRUE(t.literals_of(b).empty());
+}
+
+TEST(QueryTemplateTest, VariableBookkeeping) {
+  QueryTemplate t(MakeSchema());
+  QNodeId a = t.AddNode("x");
+  QNodeId b = t.AddNode("y");
+  RangeVarId x = t.AddRangeLiteral(a, "p", CompareOp::kGt);
+  EdgeVarId e = t.AddVariableEdge(a, b, "knows");
+  EXPECT_EQ(t.literal_of_var(x), 0u);
+  EXPECT_EQ(t.edge_of_var(e), 0u);
+  EXPECT_TRUE(t.edges()[t.edge_of_var(e)].is_variable());
+  EXPECT_TRUE(t.literals()[t.literal_of_var(x)].is_variable());
+}
+
+TEST(QueryTemplateTest, ValidateRejectsEmpty) {
+  QueryTemplate t(MakeSchema());
+  EXPECT_TRUE(t.Validate().IsInvalidArgument());
+}
+
+TEST(QueryTemplateTest, ValidateRejectsDisconnected) {
+  QueryTemplate t(MakeSchema());
+  t.AddNode("x");
+  t.AddNode("y");  // No edge between them.
+  EXPECT_TRUE(t.Validate().IsInvalidArgument());
+}
+
+TEST(QueryTemplateTest, ValidateRejectsSelfLoop) {
+  QueryTemplate t(MakeSchema());
+  QNodeId a = t.AddNode("x");
+  t.AddEdge(a, a, "e");
+  EXPECT_TRUE(t.Validate().IsInvalidArgument());
+}
+
+TEST(QueryTemplateTest, ValidateRejectsEqualityRangeVariable) {
+  QueryTemplate t(MakeSchema());
+  QNodeId a = t.AddNode("x");
+  t.AddRangeLiteral(a, "p", CompareOp::kEq);
+  EXPECT_TRUE(t.Validate().IsInvalidArgument());
+}
+
+TEST(QueryTemplateTest, SingleNodeTemplateIsValid) {
+  QueryTemplate t(MakeSchema());
+  t.AddNode("x");
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.Diameter(), 0);
+}
+
+TEST(QueryTemplateTest, DiameterOfPath) {
+  QueryTemplate t(MakeSchema());
+  QNodeId a = t.AddNode("x");
+  QNodeId b = t.AddNode("x");
+  QNodeId c = t.AddNode("x");
+  t.AddEdge(a, b, "e");
+  t.AddVariableEdge(b, c, "e");  // Variable edges count for the diameter.
+  EXPECT_EQ(t.Diameter(), 2);
+}
+
+TEST(QueryTemplateTest, DiameterOfStar) {
+  QueryTemplate t(MakeSchema());
+  QNodeId hub = t.AddNode("h");
+  for (int i = 0; i < 3; ++i) {
+    QNodeId leaf = t.AddNode("l");
+    t.AddEdge(hub, leaf, "e");
+  }
+  EXPECT_EQ(t.Diameter(), 2);
+}
+
+TEST(QueryTemplateTest, ToStringMentionsVariables) {
+  QueryTemplate t(MakeSchema());
+  QNodeId a = t.AddNode("user");
+  QNodeId b = t.AddNode("org");
+  t.AddRangeLiteral(a, "yearsOfExp", CompareOp::kGe);
+  t.AddVariableEdge(a, b, "worksAt");
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("x0"), std::string::npos);
+  EXPECT_NE(s.find("xe0"), std::string::npos);
+  EXPECT_NE(s.find("yearsOfExp"), std::string::npos);
+  EXPECT_NE(s.find("worksAt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairsqg

@@ -1,0 +1,123 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace fairsqg {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllResidues) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(3);
+  bool hit_lo = false;
+  bool hit_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    hit_lo |= (v == -2);
+    hit_hi |= (v == 2);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  // Mean of U[0,1) should be near 0.5.
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.03);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ZipfInRangeAndSkewed) {
+  Rng rng(13);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t r = rng.NextZipf(100, 1.2);
+    ASSERT_LT(r, 100u);
+    ++counts[r];
+  }
+  // Rank 0 should dominate the tail decisively.
+  EXPECT_GT(counts[0], counts[50] * 5);
+  EXPECT_GT(counts[0], 0);
+}
+
+TEST(RngTest, ZipfSingleElement) {
+  Rng rng(1);
+  EXPECT_EQ(rng.NextZipf(1, 1.5), 0u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(23);
+  for (uint64_t k : {0ull, 3ull, 50ull, 100ull}) {
+    std::vector<uint64_t> s = rng.SampleWithoutReplacement(100, k);
+    EXPECT_EQ(s.size(), k);
+    std::set<uint64_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), k);
+    for (uint64_t x : s) EXPECT_LT(x, 100u);
+  }
+}
+
+}  // namespace
+}  // namespace fairsqg

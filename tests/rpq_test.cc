@@ -1,0 +1,140 @@
+#include "rpq/rpq_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace fairsqg {
+namespace {
+
+// Path: 0 -a-> 1 -a-> 2 -b-> 3 -a-> 4, plus 1 -b-> 5 and 5 -b-> 3.
+struct Fixture {
+  std::shared_ptr<Schema> schema = std::make_shared<Schema>();
+  Graph graph = MakeGraph(schema);
+
+  static Graph MakeGraph(std::shared_ptr<Schema> schema) {
+    GraphBuilder b(std::move(schema));
+    for (int i = 0; i < 6; ++i) b.AddNode("n");
+    b.AddEdge(0, 1, "a");
+    b.AddEdge(1, 2, "a");
+    b.AddEdge(2, 3, "b");
+    b.AddEdge(3, 4, "a");
+    b.AddEdge(1, 5, "b");
+    b.AddEdge(5, 3, "b");
+    return std::move(b).Build().ValueOrDie();
+  }
+
+  PathRegex Parse(const std::string& text) {
+    return ParsePathRegex(text, schema.get()).ValueOrDie();
+  }
+};
+
+TEST(RegexParseTest, ParsesAndNormalizes) {
+  auto schema = std::make_shared<Schema>();
+  PathRegex r =
+      ParsePathRegex(" a / (b | c)* / ^d ", schema.get()).ValueOrDie();
+  EXPECT_EQ(r.text, "a/((b|c))*/^d");
+}
+
+TEST(RegexParseTest, JuxtapositionIsConcatenation) {
+  auto schema = std::make_shared<Schema>();
+  PathRegex r = ParsePathRegex("a b c", schema.get()).ValueOrDie();
+  EXPECT_EQ(r.text, "a/b/c");
+}
+
+TEST(RegexParseTest, RejectsMalformedExpressions) {
+  auto schema = std::make_shared<Schema>();
+  for (const char* bad : {"", "(", "a|", "a)", "*", "a**b(", "^"}) {
+    EXPECT_FALSE(ParsePathRegex(bad, schema.get()).ok()) << bad;
+  }
+  EXPECT_FALSE(ParsePathRegex("a", nullptr).ok());
+}
+
+TEST(RpqTest, SingleLabel) {
+  Fixture f;
+  RpqEngine engine(f.graph);
+  EXPECT_EQ(engine.ReachableFrom(f.Parse("a"), 0), NodeSet({1}));
+  EXPECT_EQ(engine.ReachableFrom(f.Parse("b"), 1), NodeSet({5}));
+}
+
+TEST(RpqTest, Concatenation) {
+  Fixture f;
+  RpqEngine engine(f.graph);
+  EXPECT_EQ(engine.ReachableFrom(f.Parse("a/a"), 0), NodeSet({2}));
+  EXPECT_EQ(engine.ReachableFrom(f.Parse("a/b"), 0), NodeSet({5}));
+}
+
+TEST(RpqTest, Alternation) {
+  Fixture f;
+  RpqEngine engine(f.graph);
+  EXPECT_EQ(engine.ReachableFrom(f.Parse("a|b"), 1), NodeSet({2, 5}));
+}
+
+TEST(RpqTest, KleeneStarIncludesEmptyPath) {
+  Fixture f;
+  RpqEngine engine(f.graph);
+  EXPECT_EQ(engine.ReachableFrom(f.Parse("a*"), 0), NodeSet({0, 1, 2}));
+}
+
+TEST(RpqTest, PlusExcludesEmptyPath) {
+  Fixture f;
+  RpqEngine engine(f.graph);
+  EXPECT_EQ(engine.ReachableFrom(f.Parse("a+"), 0), NodeSet({1, 2}));
+}
+
+TEST(RpqTest, OptionalLabel) {
+  Fixture f;
+  RpqEngine engine(f.graph);
+  EXPECT_EQ(engine.ReachableFrom(f.Parse("a?"), 0), NodeSet({0, 1}));
+}
+
+TEST(RpqTest, MixedExpression) {
+  Fixture f;
+  RpqEngine engine(f.graph);
+  // (a|b)* from 0 reaches everything on the a/b skeleton.
+  EXPECT_EQ(engine.ReachableFrom(f.Parse("(a|b)*"), 0),
+            NodeSet({0, 1, 2, 3, 4, 5}));
+  // a/b/b: 0 -a-> 1 -b-> 5 -b-> 3.
+  EXPECT_EQ(engine.ReachableFrom(f.Parse("a/b/b"), 0), NodeSet({3}));
+}
+
+TEST(RpqTest, InverseTraversal) {
+  Fixture f;
+  RpqEngine engine(f.graph);
+  EXPECT_EQ(engine.ReachableFrom(f.Parse("^a"), 1), NodeSet({0}));
+  // ^b/^a from 5: 5 <-b- 1 <-a- 0.
+  EXPECT_EQ(engine.ReachableFrom(f.Parse("^b/^a"), 5), NodeSet({0}));
+}
+
+TEST(RpqTest, CycleSafety) {
+  auto schema = std::make_shared<Schema>();
+  GraphBuilder b(schema);
+  b.AddNode("n");
+  b.AddNode("n");
+  b.AddEdge(0, 1, "a");
+  b.AddEdge(1, 0, "a");
+  Graph g = std::move(b).Build().ValueOrDie();
+  RpqEngine engine(g);
+  PathRegex r = ParsePathRegex("a+", schema.get()).ValueOrDie();
+  EXPECT_EQ(engine.ReachableFrom(r, 0), NodeSet({0, 1}));  // Terminates.
+}
+
+TEST(RpqTest, ReachableFromAnyIsUnion) {
+  Fixture f;
+  RpqEngine engine(f.graph);
+  PathRegex r = f.Parse("b");
+  NodeSet joint = engine.ReachableFromAny(r, {1, 2});
+  EXPECT_EQ(joint, NodeSet({3, 5}));
+}
+
+TEST(RpqTest, EvaluateAllWithSourceLabelAndCap) {
+  Fixture f;
+  RpqEngine engine(f.graph);
+  auto pairs = engine.EvaluateAll(f.Parse("a"), f.schema->NodeLabelId("n"));
+  EXPECT_EQ(pairs.size(), 3u);  // (0,1), (1,2), (3,4).
+  auto capped = engine.EvaluateAll(f.Parse("a"), kInvalidLabel, 2);
+  EXPECT_EQ(capped.size(), 2u);
+}
+
+}  // namespace
+}  // namespace fairsqg

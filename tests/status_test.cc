@@ -1,0 +1,110 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace fairsqg {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+}
+
+TEST(StatusTest, CopySemantics) {
+  Status a = Status::NotFound("gone");
+  Status b = a;
+  EXPECT_EQ(a, b);
+  Status c;
+  c = a;
+  EXPECT_TRUE(c.IsNotFound());
+  EXPECT_EQ(c.message(), "gone");
+}
+
+TEST(StatusTest, MoveLeavesSourceOk) {
+  Status a = Status::Internal("boom");
+  Status b = std::move(a);
+  EXPECT_TRUE(b.IsInternal());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+Status FailsIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chained(int x) {
+  FAIRSQG_RETURN_NOT_OK(FailsIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(Chained(1).ok());
+  EXPECT_TRUE(Chained(-1).IsInvalidArgument());
+}
+
+Result<int> HalfOf(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> good = HalfOf(10);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 5);
+  EXPECT_TRUE(good.status().ok());
+
+  Result<int> bad = HalfOf(3);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+Result<int> QuarterOf(int x) {
+  FAIRSQG_ASSIGN_OR_RETURN(int half, HalfOf(x));
+  return HalfOf(half);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> good = QuarterOf(8);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 2);
+  EXPECT_FALSE(QuarterOf(6).ok());
+  EXPECT_FALSE(QuarterOf(7).ok());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).ValueOrDie();
+  EXPECT_EQ(s, "payload");
+}
+
+}  // namespace
+}  // namespace fairsqg

@@ -1,0 +1,98 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace fairsqg {
+namespace {
+
+TEST(SplitStringTest, BasicAndEmptyFields) {
+  auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(SplitStringTest, EmptyInputYieldsOneEmptyField) {
+  auto parts = SplitString("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitStringTest, TrailingSeparator) {
+  auto parts = SplitString("x,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  hi there \t\n"), "hi there");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+TEST(ParseInt64Test, ValidValues) {
+  EXPECT_EQ(*ParseInt64("0"), 0);
+  EXPECT_EQ(*ParseInt64("-17"), -17);
+  EXPECT_EQ(*ParseInt64(" 42 "), 42);
+  EXPECT_EQ(*ParseInt64("9223372036854775807"), 9223372036854775807LL);
+}
+
+TEST(ParseInt64Test, RejectsGarbage) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+  EXPECT_FALSE(ParseInt64("abc").ok());
+}
+
+TEST(ParseDoubleTest, ValidValues) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("7"), 7.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.5zz").ok());
+  EXPECT_FALSE(ParseDouble("nope").ok());
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-f", "--"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("", "a"));
+}
+
+TEST(JoinStringsTest, Basics) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"only"}, ","), "only");
+}
+
+TEST(EditDistanceTest, KnownDistances) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2u);
+}
+
+TEST(EditDistanceTest, Symmetric) {
+  EXPECT_EQ(EditDistance("horror", "romance"), EditDistance("romance", "horror"));
+}
+
+TEST(NormalizedEditDistanceTest, RangeAndEndpoints) {
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("abc", "abc"), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("abc", "xyz"), 1.0);
+  double d = NormalizedEditDistance("kitten", "sitting");
+  EXPECT_GT(d, 0.0);
+  EXPECT_LT(d, 1.0);
+}
+
+}  // namespace
+}  // namespace fairsqg

@@ -1,0 +1,142 @@
+#include "query/template_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace fairsqg {
+namespace {
+
+QueryTemplate MakeTemplate(std::shared_ptr<Schema> schema) {
+  QueryTemplate t(schema);
+  QNodeId dir = t.AddNode("director");
+  QNodeId user = t.AddNode("user");
+  QNodeId org = t.AddNode("org");
+  t.SetOutputNode(dir);
+  t.AddLiteral(dir, "domain", CompareOp::kEq, AttrValue(std::string("IT")));
+  t.AddRangeLiteral(user, "yearsOfExp", CompareOp::kGe);
+  t.AddRangeLiteral(org, "employees", CompareOp::kLe);
+  t.AddLiteral(org, "founded", CompareOp::kGt, AttrValue(int64_t{1990}));
+  t.AddEdge(user, dir, "recommend");
+  t.AddVariableEdge(user, org, "worksAt");
+  return t;
+}
+
+TEST(TemplateIoTest, RoundTripPreservesStructure) {
+  auto schema = std::make_shared<Schema>();
+  QueryTemplate t = MakeTemplate(schema);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTemplateText(t, out).ok());
+
+  std::istringstream in(out.str());
+  Result<QueryTemplate> r = ReadTemplateText(in, schema);
+  ASSERT_TRUE(r.ok()) << r.status().ToString() << "\n" << out.str();
+  const QueryTemplate& t2 = *r;
+
+  EXPECT_EQ(t2.num_nodes(), t.num_nodes());
+  EXPECT_EQ(t2.num_edges(), t.num_edges());
+  EXPECT_EQ(t2.num_range_vars(), t.num_range_vars());
+  EXPECT_EQ(t2.num_edge_vars(), t.num_edge_vars());
+  EXPECT_EQ(t2.output_node(), t.output_node());
+  for (QNodeId u = 0; u < t.num_nodes(); ++u) {
+    EXPECT_EQ(t2.node_label(u), t.node_label(u));
+  }
+  for (size_t i = 0; i < t.num_edges(); ++i) {
+    EXPECT_EQ(t2.edges()[i].from, t.edges()[i].from);
+    EXPECT_EQ(t2.edges()[i].to, t.edges()[i].to);
+    EXPECT_EQ(t2.edges()[i].label, t.edges()[i].label);
+    EXPECT_EQ(t2.edges()[i].is_variable(), t.edges()[i].is_variable());
+  }
+  for (size_t i = 0; i < t.literals().size(); ++i) {
+    const LiteralTemplate& a = t.literals()[i];
+    const LiteralTemplate& b = t2.literals()[i];
+    EXPECT_EQ(a.node, b.node);
+    EXPECT_EQ(a.attr, b.attr);
+    EXPECT_EQ(a.op, b.op);
+    EXPECT_EQ(a.is_variable(), b.is_variable());
+    if (!a.is_variable()) {
+      EXPECT_EQ(a.fixed_value, b.fixed_value);
+    }
+  }
+}
+
+TEST(TemplateIoTest, ParsesHandWrittenTemplate) {
+  std::istringstream in(
+      "# talent search\n"
+      "template\n"
+      "node u0 director\n"
+      "node u1 user\n"
+      "output u0\n"
+      "edge u1 u0 recommend\n"
+      "literal u1 yearsOfExp >= ?   # range variable\n"
+      "literal u0 title = s:cto\n");
+  Result<QueryTemplate> r = ReadTemplateText(in, std::make_shared<Schema>());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_nodes(), 2u);
+  EXPECT_EQ(r->num_range_vars(), 1u);
+  EXPECT_EQ(r->literals().size(), 2u);
+  EXPECT_TRUE(r->Validate().ok());
+}
+
+TEST(TemplateIoTest, TypedValuesParse) {
+  std::istringstream in(
+      "template\n"
+      "node u0 movie\n"
+      "literal u0 rating > d:7.5\n"
+      "literal u0 year <= i:2000\n");
+  Result<QueryTemplate> r = ReadTemplateText(in, std::make_shared<Schema>());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->literals()[0].fixed_value.is_double());
+  EXPECT_TRUE(r->literals()[1].fixed_value.is_int());
+}
+
+TEST(TemplateIoTest, RejectsMissingHeader) {
+  std::istringstream in("node u0 movie\n");
+  EXPECT_FALSE(ReadTemplateText(in, std::make_shared<Schema>()).ok());
+}
+
+TEST(TemplateIoTest, RejectsNonDenseNodeIds) {
+  std::istringstream in("template\nnode u1 movie\n");
+  EXPECT_FALSE(ReadTemplateText(in, std::make_shared<Schema>()).ok());
+}
+
+TEST(TemplateIoTest, RejectsBadNodeRef) {
+  std::istringstream in(
+      "template\nnode u0 a\nnode u1 b\noutput u0\nedge u0 u7 e\n");
+  EXPECT_FALSE(ReadTemplateText(in, std::make_shared<Schema>()).ok());
+}
+
+TEST(TemplateIoTest, RejectsBadOp) {
+  std::istringstream in("template\nnode u0 a\nliteral u0 p != i:3\n");
+  EXPECT_FALSE(ReadTemplateText(in, std::make_shared<Schema>()).ok());
+}
+
+TEST(TemplateIoTest, RejectsMissingOutputForMultiNode) {
+  std::istringstream in("template\nnode u0 a\nnode u1 b\nedge u0 u1 e\n");
+  EXPECT_FALSE(ReadTemplateText(in, std::make_shared<Schema>()).ok());
+}
+
+TEST(TemplateIoTest, RejectsInvalidatedTemplate) {
+  // Disconnected template fails the final Validate().
+  std::istringstream in("template\nnode u0 a\nnode u1 b\noutput u0\n");
+  EXPECT_FALSE(ReadTemplateText(in, std::make_shared<Schema>()).ok());
+}
+
+TEST(TemplateIoTest, NullSchemaRejected) {
+  std::istringstream in("template\nnode u0 a\n");
+  EXPECT_FALSE(ReadTemplateText(in, nullptr).ok());
+}
+
+TEST(TemplateIoTest, FileRoundTrip) {
+  auto schema = std::make_shared<Schema>();
+  QueryTemplate t = MakeTemplate(schema);
+  std::string path = testing::TempDir() + "/fairsqg_template_io_test.qt";
+  ASSERT_TRUE(WriteTemplateFile(t, path).ok());
+  Result<QueryTemplate> r = ReadTemplateFile(path, schema);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_nodes(), t.num_nodes());
+  EXPECT_TRUE(ReadTemplateFile("/nonexistent.qt", schema).status().IsIoError());
+}
+
+}  // namespace
+}  // namespace fairsqg

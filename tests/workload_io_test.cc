@@ -1,0 +1,107 @@
+#include "workload/workload_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/bi_qgen.h"
+#include "core/verifier.h"
+#include "scenario_fixture.h"
+
+namespace fairsqg {
+namespace {
+
+TEST(WorkloadIoTest, RoundTripGeneratedWorkload) {
+  SmallScenario s;
+  QGenConfig config = s.Config(0.1);
+  QGenResult result = BiQGen::Run(config).ValueOrDie();
+  ASSERT_FALSE(result.pareto.empty());
+
+  Workload w = MakeWorkload(*s.tmpl, result.pareto);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteWorkloadText(w, out).ok());
+
+  std::istringstream in(out.str());
+  Result<Workload> r = ReadWorkloadText(in, s.schema);
+  ASSERT_TRUE(r.ok()) << r.status().ToString() << "\n" << out.str();
+
+  ASSERT_EQ(r->instances.size(), w.instances.size());
+  for (size_t i = 0; i < w.instances.size(); ++i) {
+    EXPECT_EQ(r->instances[i], w.instances[i]) << "instance " << i;
+    EXPECT_EQ(r->quality[i].matches, w.quality[i].matches);
+    EXPECT_NEAR(r->quality[i].diversity, w.quality[i].diversity,
+                1e-4 * (1 + w.quality[i].diversity));
+    EXPECT_NEAR(r->quality[i].coverage, w.quality[i].coverage, 1e-6);
+  }
+  EXPECT_EQ(r->tmpl.num_range_vars(), s.tmpl->num_range_vars());
+}
+
+TEST(WorkloadIoTest, ReplayedInstancesReproduceMatches) {
+  SmallScenario s;
+  QGenConfig config = s.Config(0.1);
+  QGenResult result = BiQGen::Run(config).ValueOrDie();
+  Workload w = MakeWorkload(*s.tmpl, result.pareto);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteWorkloadText(w, out).ok());
+  std::istringstream in(out.str());
+  Workload replay = ReadWorkloadText(in, s.schema).ValueOrDie();
+
+  // Re-verifying a replayed instance against the same graph reproduces the
+  // recorded match count (the whole point of a benchmark workload).
+  QGenConfig replay_config = config;
+  replay_config.tmpl = &replay.tmpl;
+  InstanceVerifier verifier(replay_config);
+  for (size_t i = 0; i < replay.instances.size(); ++i) {
+    EvaluatedPtr e = verifier.Verify(replay.instances[i]);
+    EXPECT_EQ(e->matches.size(), replay.quality[i].matches) << "instance " << i;
+  }
+}
+
+TEST(WorkloadIoTest, ParsesHandWrittenWorkload) {
+  std::istringstream in(
+      "template\n"
+      "node u0 director\n"
+      "node u1 user\n"
+      "output u0\n"
+      "edge u1 u0 recommend\n"
+      "vedge u1 u0 coReview\n"
+      "literal u1 yearsOfExp >= ?\n"
+      "instance x0=2 e0=1 matches=10 delta=1.5 f=4\n"
+      "instance x0=_ e0=0\n");
+  Result<Workload> r = ReadWorkloadText(in, std::make_shared<Schema>());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->instances.size(), 2u);
+  EXPECT_EQ(r->instances[0].range_binding(0), 2);
+  EXPECT_EQ(r->instances[0].edge_binding(0), 1);
+  EXPECT_TRUE(r->instances[1].is_wildcard(0));
+  EXPECT_EQ(r->quality[0].matches, 10u);
+  EXPECT_DOUBLE_EQ(r->quality[0].diversity, 1.5);
+  EXPECT_DOUBLE_EQ(r->quality[0].coverage, 4.0);
+}
+
+TEST(WorkloadIoTest, RejectsBadTokens) {
+  std::string header =
+      "template\nnode u0 a\nliteral u0 p >= ?\n";
+  for (const char* bad :
+       {"instance x0\n", "instance x9=1\n", "instance e0=2\n",
+        "instance what=3\n", "instance x0=zz\n"}) {
+    std::istringstream in(header + bad);
+    EXPECT_FALSE(ReadWorkloadText(in, std::make_shared<Schema>()).ok())
+        << "should reject: " << bad;
+  }
+}
+
+TEST(WorkloadIoTest, FileRoundTrip) {
+  SmallScenario s;
+  Workload w{*s.tmpl, {Instantiation::MostRelaxed(*s.tmpl)}, {{5, 1.0, 2.0}}};
+  std::string path = testing::TempDir() + "/fairsqg_workload_io_test.wl";
+  ASSERT_TRUE(WriteWorkloadFile(w, path).ok());
+  Result<Workload> r = ReadWorkloadFile(path, s.schema);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->instances.size(), 1u);
+  EXPECT_TRUE(
+      ReadWorkloadFile("/nonexistent.wl", s.schema).status().IsIoError());
+}
+
+}  // namespace
+}  // namespace fairsqg

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "core/enumerate.h"
+#include "graph/graph_stats.h"
+#include "workload/datasets.h"
+#include "workload/scenario.h"
+#include "workload/template_generator.h"
+
+namespace fairsqg {
+namespace {
+
+TEST(DatasetsTest, AllThreeDatasetsBuild) {
+  for (const char* name : kDatasetNames) {
+    Result<Dataset> d = MakeDataset(name, 0.05, 7);
+    ASSERT_TRUE(d.ok()) << name << ": " << d.status().ToString();
+    EXPECT_GT(d->graph.num_nodes(), 100u) << name;
+    EXPECT_GT(d->graph.num_edges(), 100u) << name;
+    EXPECT_FALSE(d->graph.NodesWithLabel(d->output_label).empty()) << name;
+  }
+}
+
+TEST(DatasetsTest, DeterministicPerSeed) {
+  Dataset a = MakeDataset("lki", 0.05, 13).ValueOrDie();
+  Dataset b = MakeDataset("lki", 0.05, 13).ValueOrDie();
+  EXPECT_EQ(a.graph.num_nodes(), b.graph.num_nodes());
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  for (NodeId v = 0; v < std::min<size_t>(a.graph.num_nodes(), 200); ++v) {
+    EXPECT_EQ(a.graph.node_label(v), b.graph.node_label(v));
+    EXPECT_EQ(a.graph.degree(v), b.graph.degree(v));
+  }
+  Dataset c = MakeDataset("lki", 0.05, 14).ValueOrDie();
+  EXPECT_NE(a.graph.num_edges(), c.graph.num_edges());
+}
+
+TEST(DatasetsTest, ScaleGrowsGraph) {
+  Dataset small = MakeDataset("cite", 0.02, 7).ValueOrDie();
+  Dataset big = MakeDataset("cite", 0.08, 7).ValueOrDie();
+  EXPECT_GT(big.graph.num_nodes(), small.graph.num_nodes() * 2);
+}
+
+TEST(DatasetsTest, UnknownNameRejected) {
+  EXPECT_TRUE(MakeDataset("imdb").status().IsInvalidArgument());
+  EXPECT_TRUE(MakeDataset("dbp", -1).status().IsInvalidArgument());
+}
+
+TEST(DatasetsTest, GroupAttrIsCategoricalOnOutputLabel) {
+  for (const char* name : kDatasetNames) {
+    Dataset d = MakeDataset(name, 0.05, 7).ValueOrDie();
+    size_t with_attr = 0;
+    for (NodeId v : d.graph.NodesWithLabel(d.output_label)) {
+      const AttrValue* value = d.graph.GetAttr(v, d.group_attr);
+      if (value != nullptr && value->is_string()) ++with_attr;
+    }
+    EXPECT_GT(with_attr, 0u) << name;
+  }
+}
+
+TEST(DatasetsTest, StatsRowRenders) {
+  Dataset d = MakeDataset("dbp", 0.05, 7).ValueOrDie();
+  GraphStats stats = ComputeGraphStats(d.graph);
+  std::string row = FormatStatsRow("DBP", stats);
+  EXPECT_NE(row.find("|V|="), std::string::npos);
+  EXPECT_GT(stats.avg_attrs_per_node, 1.0);
+  EXPECT_GE(stats.num_node_labels, 3u);
+}
+
+TEST(TemplateGeneratorTest, RespectsSpec) {
+  Dataset d = MakeDataset("lki", 0.08, 21).ValueOrDie();
+  TemplateSpec spec;
+  spec.output_label = d.output_label;
+  spec.num_edges = 4;
+  spec.num_range_vars = 3;
+  spec.num_edge_vars = 2;
+  spec.seed = 5;
+  QueryTemplate t = GenerateTemplate(d.graph, spec).ValueOrDie();
+  EXPECT_EQ(t.num_edges(), 4u);
+  EXPECT_EQ(t.num_range_vars(), 3u);
+  EXPECT_EQ(t.num_edge_vars(), 2u);
+  EXPECT_EQ(t.node_label(t.output_node()), d.output_label);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(TemplateGeneratorTest, SampledTemplateHasMatches) {
+  Dataset d = MakeDataset("dbp", 0.08, 3).ValueOrDie();
+  TemplateSpec spec;
+  spec.output_label = d.output_label;
+  spec.num_edges = 3;
+  spec.num_range_vars = 2;
+  spec.num_edge_vars = 1;
+  spec.seed = 9;
+  QueryTemplate t = GenerateTemplate(d.graph, spec).ValueOrDie();
+  VariableDomains domains = VariableDomains::Build(d.graph, t).ValueOrDie();
+  SubgraphMatcher matcher(d.graph);
+  QueryInstance root =
+      QueryInstance::Materialize(t, domains, Instantiation::MostRelaxed(t));
+  EXPECT_FALSE(matcher.MatchOutput(root).empty())
+      << "template sampled from the graph must match at least its own source";
+}
+
+TEST(TemplateGeneratorTest, RejectsBadSpecs) {
+  Dataset d = MakeDataset("lki", 0.05, 21).ValueOrDie();
+  TemplateSpec spec;
+  spec.output_label = kInvalidLabel;
+  EXPECT_TRUE(GenerateTemplate(d.graph, spec).status().IsInvalidArgument());
+  spec.output_label = d.output_label;
+  spec.num_edge_vars = 10;
+  spec.num_edges = 3;
+  EXPECT_TRUE(GenerateTemplate(d.graph, spec).status().IsInvalidArgument());
+}
+
+TEST(ScenarioTest, BuildsFeasibleScenario) {
+  ScenarioOptions options;
+  options.dataset = "lki";
+  options.scale = 0.08;
+  options.num_groups = 2;
+  options.total_coverage = 8;
+  options.max_domain_values = 5;
+  Scenario s = MakeScenario(options).ValueOrDie();
+  QGenConfig config = s.MakeConfig(0.05);
+  ASSERT_TRUE(config.Validate().ok());
+
+  InstanceVerifier verifier(config);
+  EvaluatedPtr root = verifier.Verify(Instantiation::MostRelaxed(*s.tmpl));
+  EXPECT_TRUE(root->feasible) << "MakeScenario must deliver a feasible root";
+}
+
+TEST(ScenarioTest, CoarseningBoundsInstanceSpace) {
+  ScenarioOptions options;
+  options.dataset = "lki";
+  options.scale = 0.08;
+  options.total_coverage = 8;
+  options.max_domain_values = 4;
+  options.num_range_vars = 2;
+  options.num_edge_vars = 1;
+  Scenario s = MakeScenario(options).ValueOrDie();
+  // <= (4+1)^2 * 2.
+  EXPECT_LE(s.domains->InstanceSpaceSize(*s.tmpl), 50u);
+}
+
+TEST(ScenarioTest, InvalidOptionsRejected) {
+  ScenarioOptions options;
+  options.num_groups = 0;
+  EXPECT_FALSE(MakeScenario(options).ok());
+  ScenarioOptions options2;
+  options2.total_coverage = 1;
+  options2.num_groups = 2;
+  EXPECT_FALSE(MakeScenario(options2).ok());
+}
+
+}  // namespace
+}  // namespace fairsqg
