@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_archive.dir/bench_ablation_archive.cc.o"
+  "CMakeFiles/bench_ablation_archive.dir/bench_ablation_archive.cc.o.d"
+  "bench_ablation_archive"
+  "bench_ablation_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

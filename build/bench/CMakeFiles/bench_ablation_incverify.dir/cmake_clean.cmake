@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_incverify.dir/bench_ablation_incverify.cc.o"
+  "CMakeFiles/bench_ablation_incverify.dir/bench_ablation_incverify.cc.o.d"
+  "bench_ablation_incverify"
+  "bench_ablation_incverify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_incverify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cbm_comparison.dir/bench_cbm_comparison.cc.o"
+  "CMakeFiles/bench_cbm_comparison.dir/bench_cbm_comparison.cc.o.d"
+  "bench_cbm_comparison"
+  "bench_cbm_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cbm_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_parallel.dir/bench_ext_parallel.cc.o"
+  "CMakeFiles/bench_ext_parallel.dir/bench_ext_parallel.cc.o.d"
+  "bench_ext_parallel"
+  "bench_ext_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10c_vary_xl.dir/bench_fig10c_vary_xl.cc.o"
+  "CMakeFiles/bench_fig10c_vary_xl.dir/bench_fig10c_vary_xl.cc.o.d"
+  "bench_fig10c_vary_xl"
+  "bench_fig10c_vary_xl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10c_vary_xl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10d_vary_xe.dir/bench_fig10d_vary_xe.cc.o"
+  "CMakeFiles/bench_fig10d_vary_xe.dir/bench_fig10d_vary_xe.cc.o.d"
+  "bench_fig10d_vary_xe"
+  "bench_fig10d_vary_xe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10d_vary_xe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

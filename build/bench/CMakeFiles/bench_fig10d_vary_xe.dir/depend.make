@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10d_vary_xe.
+# This may be replaced when dependencies are built.

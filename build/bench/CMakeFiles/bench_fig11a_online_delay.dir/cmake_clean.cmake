@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11a_online_delay.dir/bench_fig11a_online_delay.cc.o"
+  "CMakeFiles/bench_fig11a_online_delay.dir/bench_fig11a_online_delay.cc.o.d"
+  "bench_fig11a_online_delay"
+  "bench_fig11a_online_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11a_online_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

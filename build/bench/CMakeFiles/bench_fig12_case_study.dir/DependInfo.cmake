@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig12_case_study.cc" "bench/CMakeFiles/bench_fig12_case_study.dir/bench_fig12_case_study.cc.o" "gcc" "bench/CMakeFiles/bench_fig12_case_study.dir/bench_fig12_case_study.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/fairsqg_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fairsqg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fairsqg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/fairsqg_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/fairsqg_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fairsqg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fairsqg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9d_vary_xe.dir/bench_fig9d_vary_xe.cc.o"
+  "CMakeFiles/bench_fig9d_vary_xe.dir/bench_fig9d_vary_xe.cc.o.d"
+  "bench_fig9d_vary_xe"
+  "bench_fig9d_vary_xe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9d_vary_xe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9e_anytime.dir/bench_fig9e_anytime.cc.o"
+  "CMakeFiles/bench_fig9e_anytime.dir/bench_fig9e_anytime.cc.o.d"
+  "bench_fig9e_anytime"
+  "bench_fig9e_anytime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9e_anytime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig9e_anytime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9f_vary_c.dir/bench_fig9f_vary_c.cc.o"
+  "CMakeFiles/bench_fig9f_vary_c.dir/bench_fig9f_vary_c.cc.o.d"
+  "bench_fig9f_vary_c"
+  "bench_fig9f_vary_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9f_vary_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

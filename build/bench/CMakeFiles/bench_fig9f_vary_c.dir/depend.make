@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9f_vary_c.
+# This may be replaced when dependencies are built.

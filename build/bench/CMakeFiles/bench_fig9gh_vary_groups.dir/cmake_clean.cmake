@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9gh_vary_groups.dir/bench_fig9gh_vary_groups.cc.o"
+  "CMakeFiles/bench_fig9gh_vary_groups.dir/bench_fig9gh_vary_groups.cc.o.d"
+  "bench_fig9gh_vary_groups"
+  "bench_fig9gh_vary_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9gh_vary_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairsqg_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/fairsqg_bench_common.dir/bench_common.cc.o.d"
+  "libfairsqg_bench_common.a"
+  "libfairsqg_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairsqg_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_recommendation.dir/movie_recommendation.cpp.o"
+  "CMakeFiles/movie_recommendation.dir/movie_recommendation.cpp.o.d"
+  "movie_recommendation"
+  "movie_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

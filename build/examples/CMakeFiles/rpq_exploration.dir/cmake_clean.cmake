@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpq_exploration.dir/rpq_exploration.cpp.o"
+  "CMakeFiles/rpq_exploration.dir/rpq_exploration.cpp.o.d"
+  "rpq_exploration"
+  "rpq_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpq_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/talent_search.dir/talent_search.cpp.o"
+  "CMakeFiles/talent_search.dir/talent_search.cpp.o.d"
+  "talent_search"
+  "talent_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/talent_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

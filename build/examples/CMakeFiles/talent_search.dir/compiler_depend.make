@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for talent_search.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_generation.dir/workload_generation.cpp.o"
+  "CMakeFiles/workload_generation.dir/workload_generation.cpp.o.d"
+  "workload_generation"
+  "workload_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairsqg_common.dir/flags.cc.o"
+  "CMakeFiles/fairsqg_common.dir/flags.cc.o.d"
+  "CMakeFiles/fairsqg_common.dir/logging.cc.o"
+  "CMakeFiles/fairsqg_common.dir/logging.cc.o.d"
+  "CMakeFiles/fairsqg_common.dir/random.cc.o"
+  "CMakeFiles/fairsqg_common.dir/random.cc.o.d"
+  "CMakeFiles/fairsqg_common.dir/status.cc.o"
+  "CMakeFiles/fairsqg_common.dir/status.cc.o.d"
+  "CMakeFiles/fairsqg_common.dir/string_util.cc.o"
+  "CMakeFiles/fairsqg_common.dir/string_util.cc.o.d"
+  "libfairsqg_common.a"
+  "libfairsqg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairsqg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bi_qgen.cc" "src/core/CMakeFiles/fairsqg_core.dir/bi_qgen.cc.o" "gcc" "src/core/CMakeFiles/fairsqg_core.dir/bi_qgen.cc.o.d"
+  "/root/repo/src/core/cbm.cc" "src/core/CMakeFiles/fairsqg_core.dir/cbm.cc.o" "gcc" "src/core/CMakeFiles/fairsqg_core.dir/cbm.cc.o.d"
+  "/root/repo/src/core/enum_qgen.cc" "src/core/CMakeFiles/fairsqg_core.dir/enum_qgen.cc.o" "gcc" "src/core/CMakeFiles/fairsqg_core.dir/enum_qgen.cc.o.d"
+  "/root/repo/src/core/enumerate.cc" "src/core/CMakeFiles/fairsqg_core.dir/enumerate.cc.o" "gcc" "src/core/CMakeFiles/fairsqg_core.dir/enumerate.cc.o.d"
+  "/root/repo/src/core/fairness_rules.cc" "src/core/CMakeFiles/fairsqg_core.dir/fairness_rules.cc.o" "gcc" "src/core/CMakeFiles/fairsqg_core.dir/fairness_rules.cc.o.d"
+  "/root/repo/src/core/groups.cc" "src/core/CMakeFiles/fairsqg_core.dir/groups.cc.o" "gcc" "src/core/CMakeFiles/fairsqg_core.dir/groups.cc.o.d"
+  "/root/repo/src/core/indicators.cc" "src/core/CMakeFiles/fairsqg_core.dir/indicators.cc.o" "gcc" "src/core/CMakeFiles/fairsqg_core.dir/indicators.cc.o.d"
+  "/root/repo/src/core/kungs.cc" "src/core/CMakeFiles/fairsqg_core.dir/kungs.cc.o" "gcc" "src/core/CMakeFiles/fairsqg_core.dir/kungs.cc.o.d"
+  "/root/repo/src/core/measures.cc" "src/core/CMakeFiles/fairsqg_core.dir/measures.cc.o" "gcc" "src/core/CMakeFiles/fairsqg_core.dir/measures.cc.o.d"
+  "/root/repo/src/core/multi_output.cc" "src/core/CMakeFiles/fairsqg_core.dir/multi_output.cc.o" "gcc" "src/core/CMakeFiles/fairsqg_core.dir/multi_output.cc.o.d"
+  "/root/repo/src/core/online_qgen.cc" "src/core/CMakeFiles/fairsqg_core.dir/online_qgen.cc.o" "gcc" "src/core/CMakeFiles/fairsqg_core.dir/online_qgen.cc.o.d"
+  "/root/repo/src/core/parallel_qgen.cc" "src/core/CMakeFiles/fairsqg_core.dir/parallel_qgen.cc.o" "gcc" "src/core/CMakeFiles/fairsqg_core.dir/parallel_qgen.cc.o.d"
+  "/root/repo/src/core/pareto_archive.cc" "src/core/CMakeFiles/fairsqg_core.dir/pareto_archive.cc.o" "gcc" "src/core/CMakeFiles/fairsqg_core.dir/pareto_archive.cc.o.d"
+  "/root/repo/src/core/rf_qgen.cc" "src/core/CMakeFiles/fairsqg_core.dir/rf_qgen.cc.o" "gcc" "src/core/CMakeFiles/fairsqg_core.dir/rf_qgen.cc.o.d"
+  "/root/repo/src/core/template_refiner.cc" "src/core/CMakeFiles/fairsqg_core.dir/template_refiner.cc.o" "gcc" "src/core/CMakeFiles/fairsqg_core.dir/template_refiner.cc.o.d"
+  "/root/repo/src/core/verifier.cc" "src/core/CMakeFiles/fairsqg_core.dir/verifier.cc.o" "gcc" "src/core/CMakeFiles/fairsqg_core.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matching/CMakeFiles/fairsqg_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/fairsqg_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fairsqg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fairsqg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

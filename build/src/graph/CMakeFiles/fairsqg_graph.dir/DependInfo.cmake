@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/attr_value.cc" "src/graph/CMakeFiles/fairsqg_graph.dir/attr_value.cc.o" "gcc" "src/graph/CMakeFiles/fairsqg_graph.dir/attr_value.cc.o.d"
+  "/root/repo/src/graph/csv_loader.cc" "src/graph/CMakeFiles/fairsqg_graph.dir/csv_loader.cc.o" "gcc" "src/graph/CMakeFiles/fairsqg_graph.dir/csv_loader.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/fairsqg_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/fairsqg_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/graph/CMakeFiles/fairsqg_graph.dir/graph_builder.cc.o" "gcc" "src/graph/CMakeFiles/fairsqg_graph.dir/graph_builder.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/graph/CMakeFiles/fairsqg_graph.dir/graph_io.cc.o" "gcc" "src/graph/CMakeFiles/fairsqg_graph.dir/graph_io.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/graph/CMakeFiles/fairsqg_graph.dir/graph_stats.cc.o" "gcc" "src/graph/CMakeFiles/fairsqg_graph.dir/graph_stats.cc.o.d"
+  "/root/repo/src/graph/neighborhood.cc" "src/graph/CMakeFiles/fairsqg_graph.dir/neighborhood.cc.o" "gcc" "src/graph/CMakeFiles/fairsqg_graph.dir/neighborhood.cc.o.d"
+  "/root/repo/src/graph/schema.cc" "src/graph/CMakeFiles/fairsqg_graph.dir/schema.cc.o" "gcc" "src/graph/CMakeFiles/fairsqg_graph.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fairsqg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

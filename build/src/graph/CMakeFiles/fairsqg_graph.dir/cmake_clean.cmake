@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairsqg_graph.dir/attr_value.cc.o"
+  "CMakeFiles/fairsqg_graph.dir/attr_value.cc.o.d"
+  "CMakeFiles/fairsqg_graph.dir/csv_loader.cc.o"
+  "CMakeFiles/fairsqg_graph.dir/csv_loader.cc.o.d"
+  "CMakeFiles/fairsqg_graph.dir/graph.cc.o"
+  "CMakeFiles/fairsqg_graph.dir/graph.cc.o.d"
+  "CMakeFiles/fairsqg_graph.dir/graph_builder.cc.o"
+  "CMakeFiles/fairsqg_graph.dir/graph_builder.cc.o.d"
+  "CMakeFiles/fairsqg_graph.dir/graph_io.cc.o"
+  "CMakeFiles/fairsqg_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/fairsqg_graph.dir/graph_stats.cc.o"
+  "CMakeFiles/fairsqg_graph.dir/graph_stats.cc.o.d"
+  "CMakeFiles/fairsqg_graph.dir/neighborhood.cc.o"
+  "CMakeFiles/fairsqg_graph.dir/neighborhood.cc.o.d"
+  "CMakeFiles/fairsqg_graph.dir/schema.cc.o"
+  "CMakeFiles/fairsqg_graph.dir/schema.cc.o.d"
+  "libfairsqg_graph.a"
+  "libfairsqg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairsqg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

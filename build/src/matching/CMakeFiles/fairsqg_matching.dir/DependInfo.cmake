@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/brute_force.cc" "src/matching/CMakeFiles/fairsqg_matching.dir/brute_force.cc.o" "gcc" "src/matching/CMakeFiles/fairsqg_matching.dir/brute_force.cc.o.d"
+  "/root/repo/src/matching/candidate_space.cc" "src/matching/CMakeFiles/fairsqg_matching.dir/candidate_space.cc.o" "gcc" "src/matching/CMakeFiles/fairsqg_matching.dir/candidate_space.cc.o.d"
+  "/root/repo/src/matching/subgraph_matcher.cc" "src/matching/CMakeFiles/fairsqg_matching.dir/subgraph_matcher.cc.o" "gcc" "src/matching/CMakeFiles/fairsqg_matching.dir/subgraph_matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/fairsqg_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fairsqg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fairsqg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairsqg_matching.dir/brute_force.cc.o"
+  "CMakeFiles/fairsqg_matching.dir/brute_force.cc.o.d"
+  "CMakeFiles/fairsqg_matching.dir/candidate_space.cc.o"
+  "CMakeFiles/fairsqg_matching.dir/candidate_space.cc.o.d"
+  "CMakeFiles/fairsqg_matching.dir/subgraph_matcher.cc.o"
+  "CMakeFiles/fairsqg_matching.dir/subgraph_matcher.cc.o.d"
+  "libfairsqg_matching.a"
+  "libfairsqg_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairsqg_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

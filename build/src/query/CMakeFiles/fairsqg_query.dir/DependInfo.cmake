@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/domains.cc" "src/query/CMakeFiles/fairsqg_query.dir/domains.cc.o" "gcc" "src/query/CMakeFiles/fairsqg_query.dir/domains.cc.o.d"
+  "/root/repo/src/query/instance.cc" "src/query/CMakeFiles/fairsqg_query.dir/instance.cc.o" "gcc" "src/query/CMakeFiles/fairsqg_query.dir/instance.cc.o.d"
+  "/root/repo/src/query/instantiation.cc" "src/query/CMakeFiles/fairsqg_query.dir/instantiation.cc.o" "gcc" "src/query/CMakeFiles/fairsqg_query.dir/instantiation.cc.o.d"
+  "/root/repo/src/query/query_template.cc" "src/query/CMakeFiles/fairsqg_query.dir/query_template.cc.o" "gcc" "src/query/CMakeFiles/fairsqg_query.dir/query_template.cc.o.d"
+  "/root/repo/src/query/refinement.cc" "src/query/CMakeFiles/fairsqg_query.dir/refinement.cc.o" "gcc" "src/query/CMakeFiles/fairsqg_query.dir/refinement.cc.o.d"
+  "/root/repo/src/query/template_io.cc" "src/query/CMakeFiles/fairsqg_query.dir/template_io.cc.o" "gcc" "src/query/CMakeFiles/fairsqg_query.dir/template_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/fairsqg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fairsqg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairsqg_query.dir/domains.cc.o"
+  "CMakeFiles/fairsqg_query.dir/domains.cc.o.d"
+  "CMakeFiles/fairsqg_query.dir/instance.cc.o"
+  "CMakeFiles/fairsqg_query.dir/instance.cc.o.d"
+  "CMakeFiles/fairsqg_query.dir/instantiation.cc.o"
+  "CMakeFiles/fairsqg_query.dir/instantiation.cc.o.d"
+  "CMakeFiles/fairsqg_query.dir/query_template.cc.o"
+  "CMakeFiles/fairsqg_query.dir/query_template.cc.o.d"
+  "CMakeFiles/fairsqg_query.dir/refinement.cc.o"
+  "CMakeFiles/fairsqg_query.dir/refinement.cc.o.d"
+  "CMakeFiles/fairsqg_query.dir/template_io.cc.o"
+  "CMakeFiles/fairsqg_query.dir/template_io.cc.o.d"
+  "libfairsqg_query.a"
+  "libfairsqg_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairsqg_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

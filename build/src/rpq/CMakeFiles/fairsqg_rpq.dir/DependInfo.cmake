@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpq/automaton.cc" "src/rpq/CMakeFiles/fairsqg_rpq.dir/automaton.cc.o" "gcc" "src/rpq/CMakeFiles/fairsqg_rpq.dir/automaton.cc.o.d"
+  "/root/repo/src/rpq/regex.cc" "src/rpq/CMakeFiles/fairsqg_rpq.dir/regex.cc.o" "gcc" "src/rpq/CMakeFiles/fairsqg_rpq.dir/regex.cc.o.d"
+  "/root/repo/src/rpq/rpq_engine.cc" "src/rpq/CMakeFiles/fairsqg_rpq.dir/rpq_engine.cc.o" "gcc" "src/rpq/CMakeFiles/fairsqg_rpq.dir/rpq_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/fairsqg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fairsqg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

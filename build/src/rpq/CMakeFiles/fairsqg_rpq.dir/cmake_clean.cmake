@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairsqg_rpq.dir/automaton.cc.o"
+  "CMakeFiles/fairsqg_rpq.dir/automaton.cc.o.d"
+  "CMakeFiles/fairsqg_rpq.dir/regex.cc.o"
+  "CMakeFiles/fairsqg_rpq.dir/regex.cc.o.d"
+  "CMakeFiles/fairsqg_rpq.dir/rpq_engine.cc.o"
+  "CMakeFiles/fairsqg_rpq.dir/rpq_engine.cc.o.d"
+  "libfairsqg_rpq.a"
+  "libfairsqg_rpq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairsqg_rpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

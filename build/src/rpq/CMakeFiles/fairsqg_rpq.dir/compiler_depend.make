@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fairsqg_rpq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fairsqg_rpq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/citation_generator.cc" "src/workload/CMakeFiles/fairsqg_workload.dir/citation_generator.cc.o" "gcc" "src/workload/CMakeFiles/fairsqg_workload.dir/citation_generator.cc.o.d"
+  "/root/repo/src/workload/datasets.cc" "src/workload/CMakeFiles/fairsqg_workload.dir/datasets.cc.o" "gcc" "src/workload/CMakeFiles/fairsqg_workload.dir/datasets.cc.o.d"
+  "/root/repo/src/workload/instance_stream.cc" "src/workload/CMakeFiles/fairsqg_workload.dir/instance_stream.cc.o" "gcc" "src/workload/CMakeFiles/fairsqg_workload.dir/instance_stream.cc.o.d"
+  "/root/repo/src/workload/movie_kg_generator.cc" "src/workload/CMakeFiles/fairsqg_workload.dir/movie_kg_generator.cc.o" "gcc" "src/workload/CMakeFiles/fairsqg_workload.dir/movie_kg_generator.cc.o.d"
+  "/root/repo/src/workload/scenario.cc" "src/workload/CMakeFiles/fairsqg_workload.dir/scenario.cc.o" "gcc" "src/workload/CMakeFiles/fairsqg_workload.dir/scenario.cc.o.d"
+  "/root/repo/src/workload/social_net_generator.cc" "src/workload/CMakeFiles/fairsqg_workload.dir/social_net_generator.cc.o" "gcc" "src/workload/CMakeFiles/fairsqg_workload.dir/social_net_generator.cc.o.d"
+  "/root/repo/src/workload/template_generator.cc" "src/workload/CMakeFiles/fairsqg_workload.dir/template_generator.cc.o" "gcc" "src/workload/CMakeFiles/fairsqg_workload.dir/template_generator.cc.o.d"
+  "/root/repo/src/workload/workload_io.cc" "src/workload/CMakeFiles/fairsqg_workload.dir/workload_io.cc.o" "gcc" "src/workload/CMakeFiles/fairsqg_workload.dir/workload_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fairsqg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/fairsqg_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/fairsqg_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fairsqg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fairsqg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

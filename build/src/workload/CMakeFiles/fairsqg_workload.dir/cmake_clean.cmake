@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairsqg_workload.dir/citation_generator.cc.o"
+  "CMakeFiles/fairsqg_workload.dir/citation_generator.cc.o.d"
+  "CMakeFiles/fairsqg_workload.dir/datasets.cc.o"
+  "CMakeFiles/fairsqg_workload.dir/datasets.cc.o.d"
+  "CMakeFiles/fairsqg_workload.dir/instance_stream.cc.o"
+  "CMakeFiles/fairsqg_workload.dir/instance_stream.cc.o.d"
+  "CMakeFiles/fairsqg_workload.dir/movie_kg_generator.cc.o"
+  "CMakeFiles/fairsqg_workload.dir/movie_kg_generator.cc.o.d"
+  "CMakeFiles/fairsqg_workload.dir/scenario.cc.o"
+  "CMakeFiles/fairsqg_workload.dir/scenario.cc.o.d"
+  "CMakeFiles/fairsqg_workload.dir/social_net_generator.cc.o"
+  "CMakeFiles/fairsqg_workload.dir/social_net_generator.cc.o.d"
+  "CMakeFiles/fairsqg_workload.dir/template_generator.cc.o"
+  "CMakeFiles/fairsqg_workload.dir/template_generator.cc.o.d"
+  "CMakeFiles/fairsqg_workload.dir/workload_io.cc.o"
+  "CMakeFiles/fairsqg_workload.dir/workload_io.cc.o.d"
+  "libfairsqg_workload.a"
+  "libfairsqg_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairsqg_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

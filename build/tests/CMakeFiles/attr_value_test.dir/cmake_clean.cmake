@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attr_value_test.dir/attr_value_test.cc.o"
+  "CMakeFiles/attr_value_test.dir/attr_value_test.cc.o.d"
+  "attr_value_test"
+  "attr_value_test.pdb"
+  "attr_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attr_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_rules_test.dir/fairness_rules_test.cc.o"
+  "CMakeFiles/fairness_rules_test.dir/fairness_rules_test.cc.o.d"
+  "fairness_rules_test"
+  "fairness_rules_test.pdb"
+  "fairness_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indicators_test.dir/indicators_test.cc.o"
+  "CMakeFiles/indicators_test.dir/indicators_test.cc.o.d"
+  "indicators_test"
+  "indicators_test.pdb"
+  "indicators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indicators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

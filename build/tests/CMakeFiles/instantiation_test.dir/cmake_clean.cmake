@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instantiation_test.dir/instantiation_test.cc.o"
+  "CMakeFiles/instantiation_test.dir/instantiation_test.cc.o.d"
+  "instantiation_test"
+  "instantiation_test.pdb"
+  "instantiation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instantiation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

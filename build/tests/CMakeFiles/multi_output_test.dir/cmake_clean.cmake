@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_output_test.dir/multi_output_test.cc.o"
+  "CMakeFiles/multi_output_test.dir/multi_output_test.cc.o.d"
+  "multi_output_test"
+  "multi_output_test.pdb"
+  "multi_output_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_output_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_qgen_test.dir/online_qgen_test.cc.o"
+  "CMakeFiles/online_qgen_test.dir/online_qgen_test.cc.o.d"
+  "online_qgen_test"
+  "online_qgen_test.pdb"
+  "online_qgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_qgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_qgen_test.dir/parallel_qgen_test.cc.o"
+  "CMakeFiles/parallel_qgen_test.dir/parallel_qgen_test.cc.o.d"
+  "parallel_qgen_test"
+  "parallel_qgen_test.pdb"
+  "parallel_qgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_qgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

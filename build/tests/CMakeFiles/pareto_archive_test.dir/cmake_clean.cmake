@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pareto_archive_test.dir/pareto_archive_test.cc.o"
+  "CMakeFiles/pareto_archive_test.dir/pareto_archive_test.cc.o.d"
+  "pareto_archive_test"
+  "pareto_archive_test.pdb"
+  "pareto_archive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pareto_archive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_template_test.dir/query_template_test.cc.o"
+  "CMakeFiles/query_template_test.dir/query_template_test.cc.o.d"
+  "query_template_test"
+  "query_template_test.pdb"
+  "query_template_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_template_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpq_test.dir/rpq_test.cc.o"
+  "CMakeFiles/rpq_test.dir/rpq_test.cc.o.d"
+  "rpq_test"
+  "rpq_test.pdb"
+  "rpq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

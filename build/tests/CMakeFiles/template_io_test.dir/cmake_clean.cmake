@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/template_io_test.dir/template_io_test.cc.o"
+  "CMakeFiles/template_io_test.dir/template_io_test.cc.o.d"
+  "template_io_test"
+  "template_io_test.pdb"
+  "template_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/template_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/template_refiner_test.dir/template_refiner_test.cc.o"
+  "CMakeFiles/template_refiner_test.dir/template_refiner_test.cc.o.d"
+  "template_refiner_test"
+  "template_refiner_test.pdb"
+  "template_refiner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/template_refiner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairsqg.dir/fairsqg_cli.cc.o"
+  "CMakeFiles/fairsqg.dir/fairsqg_cli.cc.o.d"
+  "fairsqg"
+  "fairsqg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairsqg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fairsqg.
+# This may be replaced when dependencies are built.
