@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <deque>
 #include <memory>
+#include <thread>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/pareto_archive.h"
 #include "core/template_refiner.h"
@@ -16,12 +18,13 @@ namespace {
 
 
 /// True when the archive already ε-dominates every refinement of a parent
-/// with diversity `max_diversity` (box-level check; see rf_qgen.cc).
+/// with diversity `max_diversity` (box-level check; see rf_qgen.cc). Scans
+/// the archive's cached boxes — no allocation, no BoxOf recomputation.
 bool SubtreeCovered(const ParetoArchive& archive, double max_diversity,
-                    double max_coverage, double epsilon) {
-  BoxCoord bound = BoxOf({max_diversity, max_coverage}, epsilon);
-  for (const EvaluatedPtr& m : archive.Entries()) {
-    if (BoxDominatesOrEqual(BoxOf(m->obj, epsilon), bound)) return true;
+                    double max_coverage) {
+  BoxCoord bound = BoxOf({max_diversity, max_coverage}, archive.epsilon());
+  for (const ParetoArchive::Entry& e : archive.entries()) {
+    if (BoxDominatesOrEqual(e.box, bound)) return true;
   }
   return false;
 }
@@ -42,22 +45,31 @@ struct WorkItem {
   std::shared_ptr<const CandidateSpace> parent_cands;
 };
 
-struct BiExplorer {
+/// Beam width of the backward relaxation descent (DESIGN.md §4).
+constexpr size_t kBackwardBeam = 2;
+
+/// Lattice bookkeeping shared by the sequential and the parallel explorer.
+/// Everything here is written by exactly one thread (the coordinator); the
+/// parallel explorer hands out only verification work.
+struct ExplorerState {
   const QGenConfig& config;
-  InstanceVerifier verifier;
   ParetoArchive archive;
   std::unordered_set<Instantiation, Instantiation::Hasher> visited;
   std::vector<SandwichPair> sbounds;
   std::deque<WorkItem> forward;
   std::deque<WorkItem> backward;
   QGenResult* result;
+  double max_coverage;
 
   // Most recent feasible instances of each direction, paired for SBounds.
   EvaluatedPtr last_forward;
   EvaluatedPtr last_backward;
 
-  BiExplorer(const QGenConfig& cfg, QGenResult* res)
-      : config(cfg), verifier(cfg), archive(cfg.epsilon), result(res) {}
+  ExplorerState(const QGenConfig& cfg, QGenResult* res)
+      : config(cfg),
+        archive(cfg.epsilon),
+        result(res),
+        max_coverage(static_cast<double>(cfg.groups->total_constraint())) {}
 
   bool Budget() const {
     return config.max_verifications == 0 ||
@@ -96,15 +108,73 @@ struct BiExplorer {
     }
   }
 
-  /// One forward step (lines 4-9): verify, update, spawn refinements.
-  ///
-  /// A sandwich-pruned instance skips the expensive verification and the
-  /// archive update (Lemma 3 guarantees it is ε-dominated) but still
+  /// Depth proxy of the changed variable's binding in `step`: how refined
+  /// the variable still is after the relaxation.
+  int32_t StepDepth(const LatticeStep& step) const {
+    if (step.var_index < config.tmpl->num_range_vars()) {
+      return step.inst.range_binding(step.var_index);
+    }
+    return step.inst.edge_binding(
+        static_cast<EdgeVarId>(step.var_index - config.tmpl->num_range_vars()));
+  }
+
+  /// Sort + beam of backward relaxation children: prefer relaxing the most
+  /// refined bindings (largest step back toward the feasibility border);
+  /// keep at most kBackwardBeam. Returns how many were dropped.
+  size_t ApplyBackwardBeam(std::vector<LatticeStep>* children) const {
+    std::sort(children->begin(), children->end(),
+              [&](const LatticeStep& a, const LatticeStep& b) {
+                return StepDepth(a) > StepDepth(b);
+              });
+    if (children->size() <= kBackwardBeam) return 0;
+    size_t dropped = children->size() - kBackwardBeam;
+    children->resize(kBackwardBeam);
+    return dropped;
+  }
+
+  /// A sandwich-pruned forward item skips the expensive verification and
+  /// the archive update (Lemma 3 guarantees it is ε-dominated) but still
   /// spawns its children with the *ancestor's* verification context —
   /// otherwise instances beyond the sandwiched band, reachable only
   /// through it, would never be explored. An ancestor's match set is a
   /// superset of any descendant's (Lemma 2), so incVerify stays sound with
-  /// the stale context.
+  /// the stale context. A sandwiched item's changed_var no longer matches
+  /// the ancestor context, so children re-derive from the ancestor
+  /// conservatively: DeriveRefined only re-filters the changed literal's
+  /// node against a superset, which remains correct for any ancestor.
+  void SpawnSandwichedForward(const WorkItem& item) {
+    std::vector<LatticeStep> children = LatticeNeighbors::RefineChildren(
+        *config.tmpl, *config.domains, item.inst,
+        RefinementHints::None(*config.tmpl));
+    result->stats.generated += children.size();
+    for (LatticeStep& child : children) {
+      forward.push_back({std::move(child.inst), child.var_index,
+                         item.parent_eval, item.parent_cands});
+    }
+  }
+
+  void SeedFrontiers() {
+    Instantiation root = Instantiation::MostRelaxed(*config.tmpl);
+    Instantiation bottom =
+        Instantiation::MostRefined(*config.tmpl, *config.domains);
+    forward.push_back({root, 0, nullptr, nullptr});
+    ++result->stats.generated;
+    if (bottom != root) {
+      backward.push_back({bottom, 0, nullptr, nullptr});
+      ++result->stats.generated;
+    }
+  }
+};
+
+/// Sequential explorer — the paper's Fig. 6 interleaving, one lattice step
+/// at a time.
+struct BiExplorer : ExplorerState {
+  InstanceVerifier verifier;
+
+  BiExplorer(const QGenConfig& cfg, QGenResult* res)
+      : ExplorerState(cfg, res), verifier(cfg) {}
+
+  /// One forward step (lines 4-9): verify, update, spawn refinements.
   void StepForward() {
     WorkItem item = std::move(forward.front());
     forward.pop_front();
@@ -112,57 +182,47 @@ struct BiExplorer {
       ++result->stats.pruned;
       return;
     }
-
-    EvaluatedPtr eval;
-    auto cands = std::shared_ptr<CandidateSpace>();
-    bool sandwiched = SPrune(item.inst);
-    if (sandwiched) {
+    if (SPrune(item.inst)) {
       ++result->stats.pruned;
+      ++result->stats.pruned_sandwich;
+      SpawnSandwichedForward(item);
+      return;
+    }
+
+    auto cands = std::make_shared<CandidateSpace>();
+    EvaluatedPtr eval;
+    if (item.parent_eval != nullptr && config.use_incremental_verify) {
+      eval = verifier.VerifyRefined(item.inst, *item.parent_cands,
+                                    *item.parent_eval, item.changed_var,
+                                    cands.get());
     } else {
-      cands = std::make_shared<CandidateSpace>();
-      if (item.parent_eval != nullptr && config.use_incremental_verify) {
-        eval = verifier.VerifyRefined(item.inst, *item.parent_cands,
-                                      *item.parent_eval, item.changed_var,
-                                      cands.get());
-      } else {
-        eval = verifier.Verify(item.inst, cands.get());
-      }
-      ++result->stats.verified;
-      if (!eval->feasible) return;  // Refinements stay infeasible (Lemma 2).
-      ++result->stats.feasible;
-      archive.Update(eval);
-      Trace();
-      last_forward = eval;
-      UpdateSBounds(last_forward, last_backward);
-      if (config.use_subtree_pruning &&
-          SubtreeCovered(archive, eval->obj.diversity,
-                         static_cast<double>(config.groups->total_constraint()),
-                         config.epsilon)) {
-        return;  // Every refinement of this instance is already ε-dominated.
-      }
+      eval = verifier.Verify(item.inst, cands.get());
+    }
+    ++result->stats.verified;
+    if (!eval->feasible) return;  // Refinements stay infeasible (Lemma 2).
+    ++result->stats.feasible;
+    archive.Update(eval);
+    Trace();
+    last_forward = eval;
+    UpdateSBounds(last_forward, last_backward);
+    if (config.use_subtree_pruning &&
+        SubtreeCovered(archive, eval->obj.diversity, max_coverage)) {
+      // Every refinement of this instance is already ε-dominated.
+      ++result->stats.pruned_subtree;
+      return;
     }
 
     RefinementHints hints =
-        (!sandwiched && config.use_template_refinement)
-            ? ComputeRefinementHints(*config.graph, *config.tmpl, *config.domains,
-                                     eval->matches)
+        config.use_template_refinement
+            ? ComputeRefinementHints(*config.graph, *config.tmpl,
+                                     *config.domains, eval->matches)
             : RefinementHints::None(*config.tmpl);
     std::vector<LatticeStep> children = LatticeNeighbors::RefineChildren(
         *config.tmpl, *config.domains, item.inst, hints);
     result->stats.generated += children.size();
-    // Context for the children: this instance if verified, otherwise the
-    // ancestor context the item itself carried.
-    const EvaluatedPtr& ctx_eval = sandwiched ? item.parent_eval : eval;
-    const std::shared_ptr<const CandidateSpace> ctx_cands =
-        sandwiched ? item.parent_cands
-                   : std::shared_ptr<const CandidateSpace>(cands);
     for (LatticeStep& child : children) {
-      // A sandwiched item's changed_var no longer matches the ancestor
-      // context, so children re-derive from the ancestor conservatively:
-      // DeriveRefined only re-filters the changed literal's node against a
-      // superset, which remains correct for any ancestor.
-      forward.push_back(
-          {std::move(child.inst), child.var_index, ctx_eval, ctx_cands});
+      forward.push_back({std::move(child.inst), child.var_index, eval,
+                         std::shared_ptr<const CandidateSpace>(cands)});
     }
   }
 
@@ -175,8 +235,13 @@ struct BiExplorer {
   void StepBackward() {
     WorkItem item = std::move(backward.front());
     backward.pop_front();
-    if (!visited.insert(item.inst).second || SPrune(item.inst)) {
+    if (!visited.insert(item.inst).second) {
       ++result->stats.pruned;
+      return;
+    }
+    if (SPrune(item.inst)) {
+      ++result->stats.pruned;
+      ++result->stats.pruned_sandwich;
       return;
     }
     EvaluatedPtr eval;
@@ -198,17 +263,8 @@ struct BiExplorer {
     std::vector<LatticeStep> children =
         LatticeNeighbors::RelaxChildren(*config.tmpl, *config.domains, item.inst);
     result->stats.generated += children.size();
-    // Beam: prefer relaxing the most refined bindings (largest step back
-    // toward the feasibility border); keep at most kBackwardBeam children.
-    constexpr size_t kBackwardBeam = 2;
-    std::sort(children.begin(), children.end(),
-              [&](const LatticeStep& a, const LatticeStep& b) {
-                return StepDepth(a) > StepDepth(b);
-              });
-    if (children.size() > kBackwardBeam) {
-      result->stats.pruned += children.size() - kBackwardBeam;
-      children.resize(kBackwardBeam);
-    }
+    size_t dropped = ApplyBackwardBeam(&children);
+    result->stats.pruned += dropped;
     // Depth-first descent: dive straight down to the feasibility border
     // so the high-coverage instances surface within the first few rounds.
     for (size_t i = children.size(); i-- > 0;) {
@@ -217,29 +273,196 @@ struct BiExplorer {
     }
   }
 
-  /// Depth proxy of the changed variable's binding in `step`: how refined
-  /// the variable still is after the relaxation.
-  int32_t StepDepth(const LatticeStep& step) const {
-    if (step.var_index < config.tmpl->num_range_vars()) {
-      return step.inst.range_binding(step.var_index);
-    }
-    return step.inst.edge_binding(
-        static_cast<EdgeVarId>(step.var_index - config.tmpl->num_range_vars()));
-  }
-
   void Run() {
-    Instantiation root = Instantiation::MostRelaxed(*config.tmpl);
-    Instantiation bottom = Instantiation::MostRefined(*config.tmpl, *config.domains);
-    forward.push_back({root, 0, nullptr, nullptr});
-    ++result->stats.generated;
-    if (bottom != root) {
-      backward.push_back({bottom, 0, nullptr, nullptr});
-      ++result->stats.generated;
-    }
+    SeedFrontiers();
     while ((!forward.empty() || !backward.empty()) && Budget()) {
       if (!forward.empty()) StepForward();
       if (!backward.empty() && Budget()) StepBackward();
     }
+    result->stats.SetSequentialVerifySeconds(verifier.verify_seconds());
+  }
+};
+
+/// Parallel explorer — coordinator/worker exploration over a work-stealing
+/// pool (see BiQGen's class comment for the batching semantics).
+///
+/// Division of labour per batch:
+///  - the coordinator pops frontier items, applies `visited` dedup and
+///    SPrune (both depend on coordinator-only state), and builds a batch
+///    of verification slots;
+///  - pool workers verify slots with their private InstanceVerifier and
+///    *speculatively* compute the refinement hints and lattice children of
+///    feasible results (the expensive, state-free part of a step);
+///  - the coordinator folds results back in slot order: archive update,
+///    sandwich-pair recording, subtree pruning, frontier pushes. Folding
+///    in slot order makes the run deterministic for a fixed thread count.
+struct ParallelBiExplorer : ExplorerState {
+  /// Verification slots dispatched per batch, per pool worker. Larger
+  /// batches amortize the fork/join barrier but see staler pruning state.
+  static constexpr size_t kBatchPerWorker = 4;
+
+  ThreadPool pool;
+  std::vector<std::unique_ptr<InstanceVerifier>> verifiers;
+
+  struct Slot {
+    WorkItem item;
+    bool is_forward = true;
+    // Worker outputs.
+    EvaluatedPtr eval;
+    std::shared_ptr<CandidateSpace> cands;     // Forward slots only.
+    std::vector<LatticeStep> children;
+    size_t beam_dropped = 0;                   // Backward slots only.
+  };
+
+  ParallelBiExplorer(const QGenConfig& cfg, QGenResult* res,
+                     size_t num_threads)
+      : ExplorerState(cfg, res), pool(num_threads) {
+    verifiers.reserve(pool.num_workers());
+    for (size_t w = 0; w < pool.num_workers(); ++w) {
+      verifiers.push_back(std::make_unique<InstanceVerifier>(cfg));
+    }
+  }
+
+  size_t BatchLimit() const {
+    size_t limit = pool.num_workers() * kBatchPerWorker;
+    if (config.max_verifications > 0) {
+      // Budget() held on entry, so `remaining` is positive; the cap keeps
+      // the batch from overshooting max_verifications.
+      size_t remaining = config.max_verifications - result->stats.verified;
+      limit = std::min(limit, remaining);
+    }
+    return limit;
+  }
+
+  /// Pops frontier items into `batch`, alternating directions like the
+  /// sequential interleaving; visited/sandwich-pruned items are consumed
+  /// here (sandwiched forward items spawn their children immediately).
+  void CollectBatch(std::vector<Slot>* batch) {
+    batch->clear();
+    const size_t limit = BatchLimit();
+    bool prefer_forward = true;
+    while (batch->size() < limit && (!forward.empty() || !backward.empty())) {
+      bool take_forward = prefer_forward ? !forward.empty() : backward.empty();
+      prefer_forward = !prefer_forward;
+      std::deque<WorkItem>& src = take_forward ? forward : backward;
+      WorkItem item = std::move(src.front());
+      src.pop_front();
+      if (!visited.insert(item.inst).second) {
+        ++result->stats.pruned;
+        continue;
+      }
+      if (SPrune(item.inst)) {
+        ++result->stats.pruned;
+        ++result->stats.pruned_sandwich;
+        if (take_forward) SpawnSandwichedForward(item);
+        continue;
+      }
+      Slot slot;
+      slot.item = std::move(item);
+      slot.is_forward = take_forward;
+      batch->push_back(std::move(slot));
+    }
+  }
+
+  /// Runs on a pool worker: verify with the worker-private verifier, then
+  /// precompute the children of the step. Only reads shared state that is
+  /// immutable during the batch (graph, template, domains, parent
+  /// contexts); all mutation is confined to the slot and the verifier.
+  void VerifySlot(Slot* slot) {
+    InstanceVerifier& verifier = *verifiers[pool.WorkerIndex()];
+    if (slot->is_forward) {
+      slot->cands = std::make_shared<CandidateSpace>();
+      if (slot->item.parent_eval != nullptr && config.use_incremental_verify) {
+        slot->eval = verifier.VerifyRefined(
+            slot->item.inst, *slot->item.parent_cands, *slot->item.parent_eval,
+            slot->item.changed_var, slot->cands.get());
+      } else {
+        slot->eval = verifier.Verify(slot->item.inst, slot->cands.get());
+      }
+      if (!slot->eval->feasible) return;
+      // Speculative: wasted only if the fold subtree-prunes this slot.
+      RefinementHints hints =
+          config.use_template_refinement
+              ? ComputeRefinementHints(*config.graph, *config.tmpl,
+                                       *config.domains, slot->eval->matches)
+              : RefinementHints::None(*config.tmpl);
+      slot->children = LatticeNeighbors::RefineChildren(
+          *config.tmpl, *config.domains, slot->item.inst, hints);
+    } else {
+      if (slot->item.parent_eval != nullptr && config.use_incremental_verify) {
+        slot->eval = verifier.VerifyRelaxed(slot->item.inst,
+                                            *slot->item.parent_eval);
+      } else {
+        slot->eval = verifier.Verify(slot->item.inst);
+      }
+      if (slot->eval->feasible) return;
+      slot->children = LatticeNeighbors::RelaxChildren(
+          *config.tmpl, *config.domains, slot->item.inst);
+      slot->beam_dropped = ApplyBackwardBeam(&slot->children);
+    }
+  }
+
+  /// Coordinator-only: fold one verified slot back into the exploration
+  /// state (mirrors the post-verification halves of Step{Forward,Backward}).
+  void FoldSlot(Slot& slot) {
+    ++result->stats.verified;
+    if (slot.is_forward) {
+      if (!slot.eval->feasible) return;
+      ++result->stats.feasible;
+      archive.Update(slot.eval);
+      Trace();
+      last_forward = slot.eval;
+      UpdateSBounds(last_forward, last_backward);
+      if (config.use_subtree_pruning &&
+          SubtreeCovered(archive, slot.eval->obj.diversity, max_coverage)) {
+        ++result->stats.pruned_subtree;
+        return;
+      }
+      result->stats.generated += slot.children.size();
+      auto ctx_cands = std::shared_ptr<const CandidateSpace>(slot.cands);
+      for (LatticeStep& child : slot.children) {
+        forward.push_back(
+            {std::move(child.inst), child.var_index, slot.eval, ctx_cands});
+      }
+    } else {
+      if (slot.eval->feasible) {
+        ++result->stats.feasible;
+        archive.Update(slot.eval);
+        Trace();
+        last_backward = slot.eval;
+        UpdateSBounds(last_forward, last_backward);
+        return;  // Border reached (see StepBackward).
+      }
+      result->stats.generated += slot.children.size() + slot.beam_dropped;
+      result->stats.pruned += slot.beam_dropped;
+      for (size_t i = slot.children.size(); i-- > 0;) {
+        backward.push_front({std::move(slot.children[i].inst),
+                             slot.children[i].var_index, slot.eval, nullptr});
+      }
+    }
+  }
+
+  void Run() {
+    SeedFrontiers();
+    std::vector<Slot> batch;
+    while ((!forward.empty() || !backward.empty()) && Budget()) {
+      CollectBatch(&batch);
+      if (batch.empty()) continue;  // Whole batch pruned; refill.
+      result->stats.enqueued += batch.size();
+      for (Slot& slot : batch) {
+        pool.Submit([this, &slot] { VerifySlot(&slot); });
+      }
+      pool.Wait();
+      for (Slot& slot : batch) FoldSlot(slot);
+    }
+    for (const std::unique_ptr<InstanceVerifier>& v : verifiers) {
+      double seconds = v->verify_seconds();
+      result->stats.per_worker_verify_seconds.push_back(seconds);
+      result->stats.verify_cpu_seconds += seconds;
+      result->stats.verify_wall_seconds =
+          std::max(result->stats.verify_wall_seconds, seconds);
+    }
+    result->stats.stolen = pool.stats().stolen;
   }
 };
 
@@ -252,7 +475,22 @@ Result<QGenResult> BiQGen::Run(const QGenConfig& config) {
   BiExplorer explorer(config, &result);
   explorer.Run();
   result.pareto = explorer.archive.SortedEntries();
-  result.stats.verify_seconds = explorer.verifier.verify_seconds();
+  result.stats.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Result<QGenResult> BiQGen::RunParallel(const QGenConfig& config,
+                                       size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (num_threads == 1) return Run(config);
+  FAIRSQG_RETURN_NOT_OK(config.Validate());
+  Timer timer;
+  QGenResult result;
+  ParallelBiExplorer explorer(config, &result, num_threads);
+  explorer.Run();
+  result.pareto = explorer.archive.SortedEntries();
   result.stats.total_seconds = timer.ElapsedSeconds();
   return result;
 }

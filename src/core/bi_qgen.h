@@ -17,9 +17,26 @@ namespace fairsqg {
 /// such instances are skipped by SPrune without verification. Convergence
 /// balances high-diversity (forward) and high-coverage (backward)
 /// instances (Section V, Fig. 9(e)).
+///
+/// With `num_threads > 1` the exploration runs in coordinator/worker form:
+/// the coordinator owns all lattice bookkeeping (frontiers, `visited`,
+/// sandwich pairs, the archive — strictly single-writer) and dispatches
+/// batches of work items to a work-stealing ThreadPool whose workers each
+/// own a private InstanceVerifier (memo caches stay thread-private).
+/// Verification results are folded back in batch order, so the output is
+/// deterministic for a fixed thread count. Batching relaxes *when* pruning
+/// information becomes available (prunes may trigger a batch later than in
+/// the sequential interleaving) but never what the archive guarantees: the
+/// result still ε-covers the full feasible space.
 class BiQGen {
  public:
+  /// Sequential exploration (the paper's Fig. 6).
   static Result<QGenResult> Run(const QGenConfig& config);
+
+  /// Parallel exploration; `num_threads` 0 selects hardware concurrency,
+  /// 1 falls back to the sequential path.
+  static Result<QGenResult> RunParallel(const QGenConfig& config,
+                                        size_t num_threads = 0);
 };
 
 }  // namespace fairsqg

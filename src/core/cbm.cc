@@ -58,7 +58,7 @@ Result<QGenResult> Cbm::Run(const QGenConfig& config, size_t num_sections) {
   std::sort(anchors.begin(), anchors.end());
   anchors.erase(std::unique(anchors.begin(), anchors.end()), anchors.end());
   result.pareto = ExactParetoSet(std::move(anchors));
-  result.stats.verify_seconds = verifier.verify_seconds();
+  result.stats.SetSequentialVerifySeconds(verifier.verify_seconds());
   result.stats.total_seconds = timer.ElapsedSeconds();
   return result;
 }

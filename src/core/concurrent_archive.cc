@@ -1,0 +1,29 @@
+#include "core/concurrent_archive.h"
+
+#include "common/logging.h"
+
+namespace fairsqg {
+
+ConcurrentParetoArchive::ConcurrentParetoArchive(double epsilon,
+                                                 size_t num_shards)
+    : epsilon_(epsilon) {
+  FAIRSQG_CHECK(num_shards > 0) << "need at least one shard";
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) shards_.emplace_back(epsilon);
+}
+
+ParetoArchive ConcurrentParetoArchive::Merged() const {
+  ParetoArchive merged(epsilon_);
+  for (const ParetoArchive& shard : shards_) {
+    for (const ParetoArchive::Entry& e : shard.entries()) {
+      merged.Update(e.instance);
+    }
+  }
+  return merged;
+}
+
+std::vector<EvaluatedPtr> ConcurrentParetoArchive::MergedSortedEntries() const {
+  return Merged().SortedEntries();
+}
+
+}  // namespace fairsqg

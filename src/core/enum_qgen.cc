@@ -33,7 +33,7 @@ Result<QGenResult> EnumQGen::Run(const QGenConfig& config) {
     }
   }
   result.pareto = archive.SortedEntries();
-  result.stats.verify_seconds = verifier.verify_seconds();
+  result.stats.SetSequentialVerifySeconds(verifier.verify_seconds());
   result.stats.total_seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -14,7 +14,7 @@ Result<QGenResult> Kungs::Run(const QGenConfig& config) {
       std::vector<EvaluatedPtr> all,
       VerifyAllInstances(config, &verifier, &result.stats));
   result.pareto = ExactParetoSet(FeasibleOnly(all));
-  result.stats.verify_seconds = verifier.verify_seconds();
+  result.stats.SetSequentialVerifySeconds(verifier.verify_seconds());
   result.stats.total_seconds = timer.ElapsedSeconds();
   return result;
 }

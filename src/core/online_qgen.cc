@@ -70,7 +70,8 @@ double OnlineQGen::Process(const Instantiation& inst) {
         // and merges boxes; then replace the nearest neighbour with q.
         EvaluatedPtr nearest;
         double best = 0;
-        for (const EvaluatedPtr& m : archive_.Entries()) {
+        for (const ParetoArchive::Entry& e : archive_.entries()) {
+          const EvaluatedPtr& m = e.instance;
           double dd = m->obj.diversity - eval->obj.diversity;
           double df = m->obj.coverage - eval->obj.coverage;
           double dist = std::sqrt(dd * dd + df * df);
@@ -105,7 +106,7 @@ double OnlineQGen::Process(const Instantiation& inst) {
       << "online archive exceeded k=" << online_.k;
   double elapsed = timer.ElapsedSeconds();
   stats_.total_seconds += elapsed;
-  stats_.verify_seconds = verifier_.verify_seconds();
+  stats_.SetSequentialVerifySeconds(verifier_.verify_seconds());
   return elapsed;
 }
 

@@ -1,14 +1,27 @@
 #include "core/parallel_qgen.h"
 
+#include <algorithm>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/concurrent_archive.h"
 #include "core/enumerate.h"
-#include "core/pareto_archive.h"
 #include "core/verifier.h"
 
 namespace fairsqg {
+
+namespace {
+
+/// Instantiations handed to a worker per trip to the shared enumerator.
+/// Large enough to amortize the enumerator lock, small enough that
+/// self-scheduling load-balances heterogeneous verification costs.
+constexpr size_t kChunkSize = 64;
+
+}  // namespace
 
 Result<QGenResult> ParallelQGen::Run(const QGenConfig& config,
                                      size_t num_threads) {
@@ -19,61 +32,86 @@ Result<QGenResult> ParallelQGen::Run(const QGenConfig& config,
   Timer timer;
   QGenResult result;
 
-  // Materialize the instantiation list once; workers take a round-robin
-  // slice each (the verification costs are heterogeneous, so interleaving
-  // balances better than contiguous blocks).
+  // The instance space is streamed in chunks straight from the enumerator —
+  // nothing is materialized up-front, so there is no cap on |I(Q)|; a
+  // budget (config.max_verifications) bounds arbitrarily large spaces.
   InstantiationEnumerator it(*config.tmpl, *config.domains);
-  if (it.SpaceSize() > 1000000) {
-    return Status::FailedPrecondition(
-        "instance space too large to enumerate in parallel");
-  }
-  std::vector<Instantiation> space;
-  space.reserve(it.SpaceSize());
-  Instantiation inst;
-  while (it.Next(&inst)) space.push_back(inst);
-  num_threads = std::min(num_threads, std::max<size_t>(1, space.size()));
+  num_threads = std::min(num_threads, std::max<size_t>(1, it.SpaceSize()));
 
-  struct WorkerOutput {
-    std::vector<EvaluatedPtr> archive;
+  ThreadPool pool(num_threads);
+  ConcurrentParetoArchive archive(config.epsilon, pool.num_workers());
+
+  struct WorkerState {
+    std::unique_ptr<InstanceVerifier> verifier;
     size_t verified = 0;
     size_t feasible = 0;
-    double verify_seconds = 0;
   };
-  std::vector<WorkerOutput> outputs(num_threads);
-
-  auto work = [&](size_t worker) {
-    InstanceVerifier verifier(config);  // Private: owns mutable memo caches.
-    ParetoArchive archive(config.epsilon);
-    WorkerOutput& out = outputs[worker];
-    for (size_t i = worker; i < space.size(); i += num_threads) {
-      EvaluatedPtr e = verifier.Verify(space[i]);
-      ++out.verified;
-      if (e->feasible) {
-        ++out.feasible;
-        archive.Update(std::move(e));
-      }
-    }
-    out.archive = archive.Entries();
-    out.verify_seconds = verifier.verify_seconds();
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads);
-  for (size_t w = 0; w < num_threads; ++w) threads.emplace_back(work, w);
-  for (std::thread& t : threads) t.join();
-
-  // Merge the worker archives; box dominance is transitive, so the merged
-  // archive still ε-covers the full space.
-  ParetoArchive merged(config.epsilon);
-  for (WorkerOutput& out : outputs) {
-    for (EvaluatedPtr& e : out.archive) merged.Update(std::move(e));
-    result.stats.verified += out.verified;
-    result.stats.feasible += out.feasible;
-    result.stats.verify_seconds =
-        std::max(result.stats.verify_seconds, out.verify_seconds);
+  std::vector<WorkerState> states(pool.num_workers());
+  for (WorkerState& s : states) {
+    s.verifier = std::make_unique<InstanceVerifier>(config);
   }
-  result.stats.generated = space.size();
-  result.pareto = merged.SortedEntries();
+
+  // Shared pull source: workers refill a private chunk under this mutex.
+  std::mutex enum_mutex;
+  size_t dispatched = 0;   // Guarded by enum_mutex.
+  size_t num_chunks = 0;   // Guarded by enum_mutex.
+  bool exhausted = false;
+  auto fill_chunk = [&](std::vector<Instantiation>* chunk) {
+    chunk->clear();
+    std::lock_guard<std::mutex> lock(enum_mutex);
+    if (exhausted) return;
+    Instantiation inst;
+    while (chunk->size() < kChunkSize &&
+           (config.max_verifications == 0 ||
+            dispatched < config.max_verifications)) {
+      if (!it.Next(&inst)) {
+        exhausted = true;
+        break;
+      }
+      chunk->push_back(inst);
+      ++dispatched;
+    }
+    if (!chunk->empty()) ++num_chunks;
+  };
+
+  // One self-scheduling streaming task per worker: pull a chunk, verify it
+  // into the worker's private shard, repeat until the space (or budget)
+  // runs dry. Chunk self-scheduling gives the same load balancing the old
+  // round-robin slicing aimed for, without materializing the space.
+  for (size_t w = 0; w < pool.num_workers(); ++w) {
+    pool.SubmitOn(w, [&, w] {
+      WorkerState& state = states[w];
+      ParetoArchive& shard = archive.shard(w);
+      std::vector<Instantiation> chunk;
+      for (;;) {
+        fill_chunk(&chunk);
+        if (chunk.empty()) return;
+        for (const Instantiation& inst : chunk) {
+          EvaluatedPtr e = state.verifier->Verify(inst);
+          ++state.verified;
+          if (e->feasible) {
+            ++state.feasible;
+            shard.Update(std::move(e));
+          }
+        }
+      }
+    });
+  }
+  pool.Wait();
+
+  for (const WorkerState& s : states) {
+    result.stats.verified += s.verified;
+    result.stats.feasible += s.feasible;
+    double seconds = s.verifier->verify_seconds();
+    result.stats.per_worker_verify_seconds.push_back(seconds);
+    result.stats.verify_cpu_seconds += seconds;
+    result.stats.verify_wall_seconds =
+        std::max(result.stats.verify_wall_seconds, seconds);
+  }
+  result.stats.generated = dispatched;
+  result.stats.enqueued = num_chunks;
+  result.stats.stolen = pool.stats().stolen;
+  result.pareto = archive.MergedSortedEntries();
   result.stats.total_seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -40,6 +40,13 @@ inline bool Accepted(UpdateOutcome outcome) {
 /// along an antichain, ≤ log(1+max δ)/log(1+ε) + log(1+C)/log(1+ε).
 class ParetoArchive {
  public:
+  /// A member plus its cached boxing coordinates (computed with the
+  /// archive's current ε, so box-level checks need not recompute BoxOf).
+  struct Entry {
+    EvaluatedPtr instance;
+    BoxCoord box;
+  };
+
   explicit ParetoArchive(double epsilon);
 
   /// Applies procedure Update for a feasible instance.
@@ -48,8 +55,14 @@ class ParetoArchive {
   /// Dry-run: which case Update *would* take, without modifying anything.
   UpdateOutcome Classify(const EvaluatedInstance& q) const;
 
-  /// Current members (box representatives), unordered.
+  /// Current members (box representatives), unordered. Allocates a vector
+  /// of shared_ptr copies; hot paths should iterate `entries()` instead.
   std::vector<EvaluatedPtr> Entries() const;
+
+  /// Non-allocating view of the members with their cached boxes — the
+  /// accessor for per-verification scans (SubtreeCovered, Classify-style
+  /// dry runs, nearest-neighbour searches).
+  const std::vector<Entry>& entries() const { return entries_; }
 
   /// Members sorted by descending diversity (ties: ascending coverage).
   std::vector<EvaluatedPtr> SortedEntries() const;
@@ -70,11 +83,6 @@ class ParetoArchive {
   Objectives BestObjectives() const;
 
  private:
-  struct Entry {
-    EvaluatedPtr instance;
-    BoxCoord box;
-  };
-
   double epsilon_;
   std::vector<Entry> entries_;
 };

@@ -21,10 +21,12 @@ namespace {
 /// replacements (replacements preserve box dominance), whereas a raw
 /// value-level ε-dominance check would degrade to 2ε under replacement.
 bool SubtreeCovered(const ParetoArchive& archive, double max_diversity,
-                    double max_coverage, double epsilon) {
-  BoxCoord bound = BoxOf({max_diversity, max_coverage}, epsilon);
-  for (const EvaluatedPtr& m : archive.Entries()) {
-    if (BoxDominatesOrEqual(BoxOf(m->obj, epsilon), bound)) return true;
+                    double max_coverage) {
+  BoxCoord bound = BoxOf({max_diversity, max_coverage}, archive.epsilon());
+  // The cached per-entry boxes make this a non-allocating scan on the
+  // feasible-verification hot path.
+  for (const ParetoArchive::Entry& e : archive.entries()) {
+    if (BoxDominatesOrEqual(e.box, bound)) return true;
   }
   return false;
 }
@@ -77,9 +79,10 @@ struct Explorer {
     }
 
     if (config.use_subtree_pruning &&
-        SubtreeCovered(archive, eval->obj.diversity, max_coverage,
-                       config.epsilon)) {
-      return;  // Every refinement of `inst` is already ε-dominated.
+        SubtreeCovered(archive, eval->obj.diversity, max_coverage)) {
+      // Every refinement of `inst` is already ε-dominated.
+      ++result->stats.pruned_subtree;
+      return;
     }
 
     RefinementHints hints =
@@ -107,7 +110,7 @@ Result<QGenResult> RfQGen::Run(const QGenConfig& config) {
   ++result.stats.generated;
   explorer.Explore(root, nullptr, nullptr, 0);
   result.pareto = explorer.archive.SortedEntries();
-  result.stats.verify_seconds = explorer.verifier.verify_seconds();
+  result.stats.SetSequentialVerifySeconds(explorer.verifier.verify_seconds());
   result.stats.total_seconds = timer.ElapsedSeconds();
   return result;
 }

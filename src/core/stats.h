@@ -3,27 +3,65 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 namespace fairsqg {
 
 /// Counters reported by every query-generation algorithm; the pruning
 /// percentages of Section V (RfQGen ~40%, BiQGen ~60% fewer instances than
 /// EnumQGen) are computed from `verified` across algorithms.
+///
+/// Timing is reported on two axes so that parallel and sequential runs
+/// stay comparable: `verify_cpu_seconds` sums verifier time across all
+/// workers (total compute spent), `verify_wall_seconds` takes the maximum
+/// over workers (the verification critical path). Sequential runs report
+/// the same value on both. Per-worker time is measured as wall time inside
+/// the verifier, so on a host oversubscribed with more workers than cores
+/// the CPU axis over-counts by the timeslicing factor.
 struct GenStats {
   size_t generated = 0;  ///< Instances spawned or enumerated.
   size_t verified = 0;   ///< Instances actually matched and measured.
-  size_t pruned = 0;     ///< Spawned instances skipped by pruning.
+  size_t pruned = 0;     ///< Spawned instances skipped by pruning (all kinds).
   size_t feasible = 0;   ///< Verified instances meeting all constraints.
+
+  // Pruning attribution (subsets of `pruned` / separate events).
+  size_t pruned_sandwich = 0;  ///< Instances skipped by SPrune (Lemma 3).
+  size_t pruned_subtree = 0;   ///< Subtree cuts by the archive-cover check.
+
+  // Parallel-execution counters (zero for sequential runs).
+  size_t enqueued = 0;  ///< Work items dispatched to the thread pool.
+  size_t stolen = 0;    ///< Pool tasks executed by a stealing worker.
+
   double total_seconds = 0;
-  double verify_seconds = 0;
+  double verify_cpu_seconds = 0;   ///< Verifier time summed across workers.
+  double verify_wall_seconds = 0;  ///< Max per-worker verifier time.
+  /// Per-worker verifier seconds (parallel runs only; empty otherwise).
+  std::vector<double> per_worker_verify_seconds;
+
+  /// Records a sequential verifier's time on both timing axes.
+  void SetSequentialVerifySeconds(double seconds) {
+    verify_cpu_seconds = seconds;
+    verify_wall_seconds = seconds;
+  }
 
   std::string ToString() const {
-    return "generated=" + std::to_string(generated) +
-           " verified=" + std::to_string(verified) +
-           " pruned=" + std::to_string(pruned) +
-           " feasible=" + std::to_string(feasible) +
-           " total_s=" + std::to_string(total_seconds) +
-           " verify_s=" + std::to_string(verify_seconds);
+    std::string s = "generated=" + std::to_string(generated) +
+                    " verified=" + std::to_string(verified) +
+                    " pruned=" + std::to_string(pruned) +
+                    " feasible=" + std::to_string(feasible) +
+                    " total_s=" + std::to_string(total_seconds) +
+                    " verify_cpu_s=" + std::to_string(verify_cpu_seconds) +
+                    " verify_wall_s=" + std::to_string(verify_wall_seconds);
+    if (pruned_sandwich > 0 || pruned_subtree > 0) {
+      s += " pruned_sandwich=" + std::to_string(pruned_sandwich) +
+           " pruned_subtree=" + std::to_string(pruned_subtree);
+    }
+    if (enqueued > 0) {
+      s += " enqueued=" + std::to_string(enqueued) +
+           " stolen=" + std::to_string(stolen) +
+           " workers=" + std::to_string(per_worker_verify_seconds.size());
+    }
+    return s;
   }
 };
 

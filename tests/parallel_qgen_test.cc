@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/bi_qgen.h"
 #include "core/enum_qgen.h"
 #include "core/enumerate.h"
 #include "core/indicators.h"
@@ -9,6 +10,23 @@
 
 namespace fairsqg {
 namespace {
+
+/// True when every member of `covered` is ε-dominated by some member of
+/// `covering` (the slack absorbs floating-point noise).
+bool EpsilonCovers(const std::vector<EvaluatedPtr>& covering,
+                   const std::vector<EvaluatedPtr>& covered, double epsilon) {
+  for (const EvaluatedPtr& x : covered) {
+    bool ok = false;
+    for (const EvaluatedPtr& m : covering) {
+      if (EpsilonDominates(m->obj, x->obj, epsilon + 1e-9)) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
 
 TEST(ParallelQGenTest, MatchesSequentialEnumQGenCoverage) {
   SmallScenario s;
@@ -25,18 +43,34 @@ TEST(ParallelQGenTest, MatchesSequentialEnumQGenCoverage) {
   GenStats stats;
   auto all = VerifyAllInstances(config, &verifier, &stats).ValueOrDie();
   auto feasible = FeasibleOnly(all);
-  for (const auto& result : {seq, par}) {
-    for (const EvaluatedPtr& x : feasible) {
-      bool covered = false;
-      for (const EvaluatedPtr& m : result.pareto) {
-        if (EpsilonDominates(m->obj, x->obj, config.epsilon + 1e-9)) {
-          covered = true;
-          break;
-        }
-      }
-      EXPECT_TRUE(covered);
-    }
+  EXPECT_TRUE(EpsilonCovers(seq.pareto, feasible, config.epsilon));
+  EXPECT_TRUE(EpsilonCovers(par.pareto, feasible, config.epsilon));
+}
+
+TEST(ParallelQGenTest, ReportsBothVerifyTimeAxes) {
+  SmallScenario s;
+  QGenConfig config = s.Config(0.05);
+  QGenResult r = ParallelQGen::Run(config, 4).ValueOrDie();
+  ASSERT_EQ(r.stats.per_worker_verify_seconds.size(), 4u);
+  double sum = 0, mx = 0;
+  for (double w : r.stats.per_worker_verify_seconds) {
+    sum += w;
+    mx = std::max(mx, w);
   }
+  // CPU axis sums the workers, wall axis is the per-worker max.
+  EXPECT_DOUBLE_EQ(r.stats.verify_cpu_seconds, sum);
+  EXPECT_DOUBLE_EQ(r.stats.verify_wall_seconds, mx);
+  EXPECT_GE(r.stats.verify_cpu_seconds, r.stats.verify_wall_seconds);
+  EXPECT_GT(r.stats.enqueued, 0u);
+}
+
+TEST(ParallelQGenTest, RespectsVerificationBudget) {
+  SmallScenario s;
+  QGenConfig config = s.Config(0.05);
+  config.max_verifications = 10;
+  QGenResult r = ParallelQGen::Run(config, 4).ValueOrDie();
+  EXPECT_LE(r.stats.verified, 10u);
+  EXPECT_EQ(r.stats.generated, 10u);
 }
 
 TEST(ParallelQGenTest, DeterministicResultAcrossThreadCounts) {
@@ -70,6 +104,79 @@ TEST(ParallelQGenTest, DefaultThreadCount) {
 TEST(ParallelQGenTest, InvalidConfigRejected) {
   QGenConfig empty;
   EXPECT_FALSE(ParallelQGen::Run(empty, 2).ok());
+}
+
+// --- Parallel Bi-QGen (coordinator + work-stealing verification pool) ---
+
+TEST(ParallelBiQGenTest, ArchiveMutuallyEpsilonCoversSequential) {
+  SmallScenario s;
+  QGenConfig config = s.Config(0.05);
+  QGenResult seq = BiQGen::Run(config).ValueOrDie();
+  QGenResult par = BiQGen::RunParallel(config, 4).ValueOrDie();
+  ASSERT_GT(seq.pareto.size(), 0u);
+  ASSERT_GT(par.pareto.size(), 0u);
+  // Exploration order differs (batched vs stepwise), but both archives
+  // ε-cover the full feasible space — so each must ε-cover the other.
+  EXPECT_TRUE(EpsilonCovers(par.pareto, seq.pareto, config.epsilon));
+  EXPECT_TRUE(EpsilonCovers(seq.pareto, par.pareto, config.epsilon));
+}
+
+TEST(ParallelBiQGenTest, EpsilonCoversFullFeasibleSpace) {
+  SmallScenario s;
+  QGenConfig config = s.Config(0.05);
+  QGenResult par = BiQGen::RunParallel(config, 4).ValueOrDie();
+  InstanceVerifier verifier(config);
+  GenStats stats;
+  auto all = VerifyAllInstances(config, &verifier, &stats).ValueOrDie();
+  EXPECT_TRUE(EpsilonCovers(par.pareto, FeasibleOnly(all), config.epsilon));
+}
+
+TEST(ParallelBiQGenTest, DeterministicForFixedThreadCount) {
+  SmallScenario s;
+  QGenConfig config = s.Config(0.05);
+  // Batches are collected and folded in coordinator order, so two runs at
+  // the same thread count are bit-identical regardless of scheduling.
+  QGenResult a = BiQGen::RunParallel(config, 4).ValueOrDie();
+  QGenResult b = BiQGen::RunParallel(config, 4).ValueOrDie();
+  ASSERT_EQ(a.pareto.size(), b.pareto.size());
+  for (size_t i = 0; i < a.pareto.size(); ++i) {
+    EXPECT_EQ(a.pareto[i]->inst, b.pareto[i]->inst);
+    EXPECT_DOUBLE_EQ(a.pareto[i]->obj.diversity, b.pareto[i]->obj.diversity);
+    EXPECT_DOUBLE_EQ(a.pareto[i]->obj.coverage, b.pareto[i]->obj.coverage);
+  }
+  EXPECT_EQ(a.stats.verified, b.stats.verified);
+  EXPECT_EQ(a.stats.feasible, b.stats.feasible);
+}
+
+TEST(ParallelBiQGenTest, SingleThreadFallsBackToSequential) {
+  SmallScenario s;
+  QGenConfig config = s.Config(0.05);
+  QGenResult seq = BiQGen::Run(config).ValueOrDie();
+  QGenResult one = BiQGen::RunParallel(config, 1).ValueOrDie();
+  ASSERT_EQ(one.pareto.size(), seq.pareto.size());
+  for (size_t i = 0; i < seq.pareto.size(); ++i) {
+    EXPECT_EQ(one.pareto[i]->inst, seq.pareto[i]->inst);
+  }
+  EXPECT_EQ(one.stats.verified, seq.stats.verified);
+}
+
+TEST(ParallelBiQGenTest, RespectsVerificationBudget) {
+  SmallScenario s;
+  QGenConfig config = s.Config(0.05);
+  config.max_verifications = 7;
+  QGenResult r = BiQGen::RunParallel(config, 4).ValueOrDie();
+  EXPECT_LE(r.stats.verified, 7u);
+}
+
+TEST(ParallelBiQGenTest, ReportsParallelStats) {
+  SmallScenario s;
+  QGenConfig config = s.Config(0.05);
+  QGenResult r = BiQGen::RunParallel(config, 4).ValueOrDie();
+  EXPECT_GT(r.stats.enqueued, 0u);
+  ASSERT_EQ(r.stats.per_worker_verify_seconds.size(), 4u);
+  EXPECT_GE(r.stats.verify_cpu_seconds, r.stats.verify_wall_seconds);
+  // Dispatched work is verified work in the batched explorer.
+  EXPECT_EQ(r.stats.enqueued, r.stats.verified);
 }
 
 }  // namespace

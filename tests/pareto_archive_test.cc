@@ -1,10 +1,13 @@
 #include "core/pareto_archive.h"
 
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "core/concurrent_archive.h"
 
 namespace fairsqg {
 namespace {
@@ -170,6 +173,57 @@ TEST_P(ArchivePropertyTest, CoverageAntichainAndSizeBound) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ArchivePropertyTest, testing::Range(0, 12));
+
+TEST(ConcurrentParetoArchiveTest, MergedCoversEveryShardedUpdate) {
+  constexpr double kEps = 0.1;
+  constexpr size_t kShards = 4;
+  ConcurrentParetoArchive archive(kEps, kShards);
+  ASSERT_EQ(archive.num_shards(), kShards);
+
+  // Concurrent thread-private updates (the intended usage pattern; also
+  // what TSan scrutinizes under -DFAIRSQG_SANITIZE=thread).
+  std::vector<std::vector<EvaluatedPtr>> offered(kShards);
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < kShards; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(7 * (w + 1));
+      for (int i = 0; i < 200; ++i) {
+        EvaluatedPtr p =
+            MakePoint(rng.NextDouble() * 50.0, rng.NextDouble() * 50.0);
+        offered[w].push_back(p);
+        archive.shard(w).Update(p);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // The ε-box merge must box-dominate (hence ε-dominate) every instance
+  // any shard was ever offered — the transitivity argument of DESIGN.md.
+  ParetoArchive merged = archive.Merged();
+  for (const std::vector<EvaluatedPtr>& shard_offered : offered) {
+    for (const EvaluatedPtr& x : shard_offered) {
+      BoxCoord bx = BoxOf(x->obj, kEps);
+      bool covered = false;
+      for (const ParetoArchive::Entry& e : merged.entries()) {
+        if (BoxDominatesOrEqual(e.box, bx)) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered);
+    }
+  }
+}
+
+TEST(ConcurrentParetoArchiveTest, EntriesViewMatchesAllocatingAccessor) {
+  ParetoArchive archive(0.1);
+  archive.Update(MakePoint(1, 8));
+  archive.Update(MakePoint(8, 1));
+  ASSERT_EQ(archive.entries().size(), archive.Entries().size());
+  for (const ParetoArchive::Entry& e : archive.entries()) {
+    EXPECT_EQ(e.box, BoxOf(e.instance->obj, archive.epsilon()));
+  }
+}
 
 }  // namespace
 }  // namespace fairsqg

@@ -1,0 +1,128 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace fairsqg {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4u);
+  std::atomic<size_t> count{0};
+  constexpr size_t kTasks = 500;
+  for (size_t i = 0; i < kTasks; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), kTasks);
+  EXPECT_EQ(pool.stats().executed, kTasks);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsSelectsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_workers(), 1u);
+}
+
+TEST(ThreadPoolTest, WorkerIndexIdentifiesPoolThreads) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.WorkerIndex(), ThreadPool::kNotAWorker);
+  std::atomic<size_t> bad_index{0};
+  for (size_t i = 0; i < 64; ++i) {
+    pool.Submit([&] {
+      if (pool.WorkerIndex() >= pool.num_workers()) bad_index.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(bad_index.load(), 0u);
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitFurtherTasks) {
+  ThreadPool pool(4);
+  std::atomic<size_t> count{0};
+  constexpr size_t kParents = 16;
+  constexpr size_t kChildren = 8;
+  for (size_t i = 0; i < kParents; ++i) {
+    pool.Submit([&] {
+      count.fetch_add(1);
+      for (size_t j = 0; j < kChildren; ++j) {
+        pool.Submit([&count] { count.fetch_add(1); });
+      }
+    });
+  }
+  // Wait() must cover tasks transitively submitted by tasks.
+  pool.Wait();
+  EXPECT_EQ(count.load(), kParents * (1 + kChildren));
+}
+
+TEST(ThreadPoolTest, StealsFromABusyWorkersQueue) {
+  ThreadPool pool(2);
+  constexpr size_t kTasks = 16;
+  std::atomic<size_t> blocked_worker{ThreadPool::kNotAWorker};
+  std::atomic<size_t> done{0};
+  // Occupy one worker until every follow-up task has run...
+  pool.Submit([&] {
+    blocked_worker.store(pool.WorkerIndex());
+    while (done.load() < kTasks) std::this_thread::yield();
+  });
+  while (blocked_worker.load() == ThreadPool::kNotAWorker) {
+    std::this_thread::yield();
+  }
+  // ...then pile the follow-ups onto that worker's own deque: the other
+  // worker is the only one that can run them, and only by stealing.
+  for (size_t i = 0; i < kTasks; ++i) {
+    pool.SubmitOn(blocked_worker.load(), [&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), kTasks);
+  EXPECT_GE(pool.stats().stolen, kTasks);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToWait) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The error is consumed: the pool stays usable and Wait() is clean again.
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  EXPECT_NO_THROW(pool.Wait());
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, FirstOfSeveralExceptionsIsReported) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_NO_THROW(pool.Wait());
+  EXPECT_EQ(pool.stats().executed, 8u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<size_t> done{0};
+  constexpr size_t kTasks = 200;
+  {
+    ThreadPool pool(2);
+    for (size_t i = 0; i < kTasks; ++i) {
+      pool.Submit([&done] { done.fetch_add(1); });
+    }
+    // No Wait(): shutdown itself must not drop queued work.
+  }
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, DestructorSwallowsUnobservedExceptions) {
+  {
+    ThreadPool pool(2);
+    pool.Submit([] { throw std::runtime_error("unobserved"); });
+    // Destroying without Wait() must not terminate the process.
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace fairsqg
