@@ -1,0 +1,189 @@
+// Perf harness for the attribute-range-index candidate pipeline and the
+// match-set cache (DESIGN.md §10): per dataset,
+//  (a) candidate-space construction over an enumerated instance sample,
+//      reference label scan vs index slicing / bitmap filtering;
+//  (b) end-to-end Bi-QGen, scan path without a cache vs index path with a
+//      shared MatchSetCache.
+// Emits the console table plus machine-readable BENCH_candidate_index.json
+// in the working directory.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "core/bi_qgen.h"
+#include "core/match_cache.h"
+#include "matching/candidate_space.h"
+
+namespace fairsqg::bench {
+namespace {
+
+/// Instances sampled from the front of the enumeration order (which starts
+/// at the most relaxed instance and sweeps the space systematically).
+constexpr size_t kMaxInstances = 300;
+/// Repetitions of the construction sweep per timing.
+constexpr int kReps = 5;
+
+struct BuildTiming {
+  size_t instances = 0;
+  double scan_ms = 0;
+  double index_ms = 0;
+  double speedup = 0;
+};
+
+struct EndToEnd {
+  double baseline_s = 0;   // Scan candidates, no cache.
+  double optimized_s = 0;  // Index candidates + cold match-set cache.
+  double warm_s = 0;       // Index candidates + warm cache (rerun).
+  double speedup = 0;      // baseline / optimized (cold).
+  double warm_speedup = 0; // baseline / warm rerun.
+  size_t cache_hits = 0;   // Hits during the warm rerun.
+  size_t cache_misses = 0; // Misses during the cold run.
+};
+
+std::vector<QueryInstance> SampleInstances(const Scenario& s) {
+  std::vector<QueryInstance> out;
+  InstantiationEnumerator it(*s.tmpl, *s.domains);
+  Instantiation inst;
+  while (out.size() < kMaxInstances && it.Next(&inst)) {
+    out.push_back(QueryInstance::Materialize(*s.tmpl, *s.domains, inst));
+  }
+  return out;
+}
+
+double TimeBuilds(const Graph& g, const std::vector<QueryInstance>& instances,
+                  bool use_index) {
+  Timer timer;
+  size_t total = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (const QueryInstance& q : instances) {
+      CandidateSpace space =
+          CandidateSpace::Build(g, q, /*degree_filter=*/true, use_index);
+      total += space.of(q.output_node()).size();
+    }
+  }
+  // Consume `total` so the builds cannot be elided.
+  if (total == static_cast<size_t>(-1)) std::printf("impossible\n");
+  return timer.ElapsedMillis() / kReps;
+}
+
+BuildTiming BenchCandidateBuild(const Scenario& s) {
+  std::vector<QueryInstance> instances = SampleInstances(s);
+  BuildTiming t;
+  t.instances = instances.size();
+  // Warm-up pass, then measure scan and index sweeps over the same sample.
+  TimeBuilds(s.dataset.graph, instances, /*use_index=*/true);
+  t.scan_ms = TimeBuilds(s.dataset.graph, instances, /*use_index=*/false);
+  t.index_ms = TimeBuilds(s.dataset.graph, instances, /*use_index=*/true);
+  t.speedup = t.index_ms > 0 ? t.scan_ms / t.index_ms : 0;
+  return t;
+}
+
+EndToEnd BenchBiQGen(const Scenario& s) {
+  EndToEnd e;
+  QGenConfig config = s.MakeConfig(0.01);
+  config.use_candidate_index = false;
+  Timer baseline;
+  QGenResult base = BiQGen::Run(config).ValueOrDie();
+  e.baseline_s = baseline.ElapsedSeconds();
+
+  config.use_candidate_index = true;
+  MatchSetCache cache;
+  config.match_cache = &cache;
+  Timer optimized;
+  QGenResult opt = BiQGen::Run(config).ValueOrDie();
+  e.optimized_s = optimized.ElapsedSeconds();
+  e.speedup = e.optimized_s > 0 ? e.baseline_s / e.optimized_s : 0;
+  e.cache_misses = opt.stats.cache_misses;
+
+  // Rerun against the warm cache: the amortized regime of repeated
+  // generation over one scenario (parameter sweeps, online re-generation),
+  // where every verification becomes a lookup.
+  Timer warm;
+  QGenResult rerun = BiQGen::Run(config).ValueOrDie();
+  e.warm_s = warm.ElapsedSeconds();
+  e.warm_speedup = e.warm_s > 0 ? e.baseline_s / e.warm_s : 0;
+  e.cache_hits = rerun.stats.cache_hits;
+  FAIRSQG_CHECK(base.pareto.size() == opt.pareto.size())
+      << "optimized path changed the Pareto front";
+  FAIRSQG_CHECK(rerun.pareto.size() == opt.pareto.size())
+      << "warm rerun changed the Pareto front";
+  return e;
+}
+
+struct Row {
+  std::string dataset;
+  size_t nodes = 0;
+  size_t edges = 0;
+  BuildTiming build;
+  EndToEnd e2e;
+};
+
+void WriteJson(const std::vector<Row>& rows, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  FAIRSQG_CHECK(f != nullptr) << "cannot write " << path;
+  std::fprintf(f, "{\n  \"bench\": \"candidate_index\",\n");
+  std::fprintf(f, "  \"scale\": %g,\n", BenchScale());
+  std::fprintf(f, "  \"reps\": %d,\n  \"datasets\": [\n", kReps);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"nodes\": %zu, \"edges\": %zu,\n"
+                 "     \"candidate_build\": {\"instances\": %zu, "
+                 "\"scan_ms\": %.3f, \"index_ms\": %.3f, \"speedup\": %.2f},\n"
+                 "     \"biqgen\": {\"baseline_s\": %.3f, \"optimized_s\": "
+                 "%.3f, \"warm_s\": %.3f, \"speedup\": %.2f, "
+                 "\"warm_speedup\": %.2f, \"cache_hits\": %zu, "
+                 "\"cache_misses\": %zu}}%s\n",
+                 r.dataset.c_str(), r.nodes, r.edges, r.build.instances,
+                 r.build.scan_ms, r.build.index_ms, r.build.speedup,
+                 r.e2e.baseline_s, r.e2e.optimized_s, r.e2e.warm_s,
+                 r.e2e.speedup, r.e2e.warm_speedup, r.e2e.cache_hits,
+                 r.e2e.cache_misses,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void Run() {
+  PrintFigureHeader(
+      "candidate-index", "attribute range indexes + bitmap candidate filtering",
+      "candidate construction per instance sample; Bi-QGen end to end");
+  Table table({"dataset", "nodes", "insts", "scan ms", "index ms", "build x",
+               "biqgen base s", "biqgen opt s", "warm s", "cold x", "warm x",
+               "hits", "misses"});
+  std::vector<Row> rows;
+  for (const std::string dataset : {"dbp", "lki", "cite"}) {
+    Result<Scenario> s = MakeScenario(DefaultOptions(dataset));
+    FAIRSQG_CHECK(s.ok()) << s.status().ToString();
+    Row row;
+    row.dataset = dataset;
+    row.nodes = s->dataset.graph.num_nodes();
+    row.edges = s->dataset.graph.num_edges();
+    row.build = BenchCandidateBuild(*s);
+    row.e2e = BenchBiQGen(*s);
+    table.AddRow({dataset, std::to_string(row.nodes),
+                  std::to_string(row.build.instances), Fmt(row.build.scan_ms, 2),
+                  Fmt(row.build.index_ms, 2), Fmt(row.build.speedup, 2),
+                  Fmt(row.e2e.baseline_s, 3), Fmt(row.e2e.optimized_s, 3),
+                  Fmt(row.e2e.warm_s, 3), Fmt(row.e2e.speedup, 2),
+                  Fmt(row.e2e.warm_speedup, 2),
+                  std::to_string(row.e2e.cache_hits),
+                  std::to_string(row.e2e.cache_misses)});
+    rows.push_back(std::move(row));
+  }
+  table.Print();
+  WriteJson(rows, "BENCH_candidate_index.json");
+}
+
+}  // namespace
+}  // namespace fairsqg::bench
+
+int main() {
+  fairsqg::bench::Run();
+  return 0;
+}

@@ -280,6 +280,8 @@ struct BiExplorer : ExplorerState {
       if (!backward.empty() && Budget()) StepBackward();
     }
     result->stats.SetSequentialVerifySeconds(verifier.verify_seconds());
+    result->stats.cache_hits = verifier.cache_hits();
+    result->stats.cache_misses = verifier.cache_misses();
   }
 };
 
@@ -461,6 +463,8 @@ struct ParallelBiExplorer : ExplorerState {
       result->stats.verify_cpu_seconds += seconds;
       result->stats.verify_wall_seconds =
           std::max(result->stats.verify_wall_seconds, seconds);
+      result->stats.cache_hits += v->cache_hits();
+      result->stats.cache_misses += v->cache_misses();
     }
     result->stats.stolen = pool.stats().stolen;
   }

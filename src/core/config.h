@@ -13,6 +13,8 @@
 
 namespace fairsqg {
 
+class MatchSetCache;
+
 /// \brief A query-generation configuration C = (G, Q(u_o), P, ε) (Section
 /// III-B), plus the measure parameters and the optimization toggles that
 /// the ablation benchmarks flip.
@@ -43,6 +45,16 @@ struct QGenConfig {
   /// Skip spawning a subtree all of whose instances are already ε-dominated
   /// by the archive (δ bounded by the parent's, f bounded by C).
   bool use_subtree_pruning = true;
+  /// Resolve candidate sets through the graph's attribute range indexes and
+  /// label bitsets (index slicing / bitmap filtering) instead of per-node
+  /// literal scans. Off reproduces the reference scan path bit for bit.
+  bool use_candidate_index = true;
+
+  /// Optional shared match-set cache consulted before every matcher
+  /// invocation (non-owning; may be shared by parallel workers). The cache
+  /// must have been created for this same configuration. Null disables
+  /// caching. Results are byte-identical with the cache on or off.
+  MatchSetCache* match_cache = nullptr;
 
   /// Safety cap on verifications; 0 means unlimited.
   size_t max_verifications = 0;

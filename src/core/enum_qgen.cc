@@ -34,6 +34,8 @@ Result<QGenResult> EnumQGen::Run(const QGenConfig& config) {
   }
   result.pareto = archive.SortedEntries();
   result.stats.SetSequentialVerifySeconds(verifier.verify_seconds());
+  result.stats.cache_hits = verifier.cache_hits();
+  result.stats.cache_misses = verifier.cache_misses();
   result.stats.total_seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -107,6 +107,8 @@ double OnlineQGen::Process(const Instantiation& inst) {
   double elapsed = timer.ElapsedSeconds();
   stats_.total_seconds += elapsed;
   stats_.SetSequentialVerifySeconds(verifier_.verify_seconds());
+  stats_.cache_hits = verifier_.cache_hits();
+  stats_.cache_misses = verifier_.cache_misses();
   return elapsed;
 }
 

@@ -107,6 +107,8 @@ Result<QGenResult> ParallelQGen::Run(const QGenConfig& config,
     result.stats.verify_cpu_seconds += seconds;
     result.stats.verify_wall_seconds =
         std::max(result.stats.verify_wall_seconds, seconds);
+    result.stats.cache_hits += s.verifier->cache_hits();
+    result.stats.cache_misses += s.verifier->cache_misses();
   }
   result.stats.generated = dispatched;
   result.stats.enqueued = num_chunks;

@@ -111,6 +111,8 @@ Result<QGenResult> RfQGen::Run(const QGenConfig& config) {
   explorer.Explore(root, nullptr, nullptr, 0);
   result.pareto = explorer.archive.SortedEntries();
   result.stats.SetSequentialVerifySeconds(explorer.verifier.verify_seconds());
+  result.stats.cache_hits = explorer.verifier.cache_hits();
+  result.stats.cache_misses = explorer.verifier.cache_misses();
   result.stats.total_seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -32,6 +32,11 @@ struct GenStats {
   size_t enqueued = 0;  ///< Work items dispatched to the thread pool.
   size_t stolen = 0;    ///< Pool tasks executed by a stealing worker.
 
+  // Match-set cache counters (zero when no cache is configured). Folded
+  // from per-verifier counts so parallel runs report deterministically.
+  size_t cache_hits = 0;    ///< Verifications answered from the cache.
+  size_t cache_misses = 0;  ///< Lookups that fell through to the matcher.
+
   double total_seconds = 0;
   double verify_cpu_seconds = 0;   ///< Verifier time summed across workers.
   double verify_wall_seconds = 0;  ///< Max per-worker verifier time.
@@ -60,6 +65,10 @@ struct GenStats {
       s += " enqueued=" + std::to_string(enqueued) +
            " stolen=" + std::to_string(stolen) +
            " workers=" + std::to_string(per_worker_verify_seconds.size());
+    }
+    if (cache_hits > 0 || cache_misses > 0) {
+      s += " cache_hits=" + std::to_string(cache_hits) +
+           " cache_misses=" + std::to_string(cache_misses);
     }
     return s;
   }

@@ -1,6 +1,7 @@
 #include "core/verifier.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/timer.h"
 
@@ -35,16 +36,38 @@ EvaluatedPtr InstanceVerifier::Finish(const Instantiation& inst, NodeSet matches
   return FinishWithParts(inst, std::move(matches), parts);
 }
 
+bool InstanceVerifier::LookupCached(const QueryInstance& q, NodeSet* matches,
+                                    std::string* key) {
+  if (config_->match_cache == nullptr) return false;
+  *key = MatchSetCache::KeyFor(q);
+  if (config_->match_cache->Lookup(*key, matches)) {
+    ++cache_hits_;
+    key->clear();
+    return true;
+  }
+  ++cache_misses_;
+  return false;
+}
+
 EvaluatedPtr InstanceVerifier::Verify(const Instantiation& inst,
                                       CandidateSpace* out_candidates) {
   Timer timer;
   QueryInstance q =
       QueryInstance::Materialize(*config_->tmpl, *config_->domains, inst);
-  CandidateSpace candidates = CandidateSpace::Build(
-      *config_->graph, q,
-      /*degree_filter=*/config_->semantics == MatchSemantics::kIsomorphism);
-  NodeSet matches = matcher_.MatchOutput(q, candidates);
-  if (out_candidates != nullptr) *out_candidates = std::move(candidates);
+  NodeSet matches;
+  std::string key;
+  const bool hit = LookupCached(q, &matches, &key);
+  if (!hit || out_candidates != nullptr) {
+    CandidateSpace candidates = CandidateSpace::Build(
+        *config_->graph, q,
+        /*degree_filter=*/config_->semantics == MatchSemantics::kIsomorphism,
+        config_->use_candidate_index, &matcher_.mutable_stats());
+    if (!hit) {
+      matches = matcher_.MatchOutput(q, candidates);
+      if (!key.empty()) config_->match_cache->Insert(key, matches);
+    }
+    if (out_candidates != nullptr) *out_candidates = std::move(candidates);
+  }
   EvaluatedPtr out = Finish(inst, std::move(matches));
   verify_seconds_ += timer.ElapsedSeconds();
   return out;
@@ -59,11 +82,20 @@ EvaluatedPtr InstanceVerifier::VerifyRefined(const Instantiation& inst,
   Timer timer;
   QueryInstance q =
       QueryInstance::Materialize(*config_->tmpl, *config_->domains, inst);
-  CandidateSpace candidates = CandidateSpace::DeriveRefined(
-      *config_->graph, q, parent_candidates, changed_var);
-  // Lemma 2: q(G) ⊆ parent's match set; test only the parent's matches.
-  NodeSet matches = matcher_.MatchOutput(q, candidates, &parent.matches);
-  if (out_candidates != nullptr) *out_candidates = std::move(candidates);
+  NodeSet matches;
+  std::string key;
+  const bool hit = LookupCached(q, &matches, &key);
+  if (!hit || out_candidates != nullptr) {
+    CandidateSpace candidates = CandidateSpace::DeriveRefined(
+        *config_->graph, q, parent_candidates, changed_var,
+        config_->use_candidate_index, &matcher_.mutable_stats());
+    if (!hit) {
+      // Lemma 2: q(G) ⊆ parent's match set; test only the parent's matches.
+      matches = matcher_.MatchOutput(q, candidates, &parent.matches);
+      if (!key.empty()) config_->match_cache->Insert(key, matches);
+    }
+    if (out_candidates != nullptr) *out_candidates = std::move(candidates);
+  }
   DiversityEvaluator::Parts parts = diversity_.RefineParts(
       {parent.relevance_sum, parent.pair_sum}, parent.matches, matches);
   EvaluatedPtr out = FinishWithParts(inst, std::move(matches), parts);
@@ -78,20 +110,30 @@ EvaluatedPtr InstanceVerifier::VerifyRelaxed(const Instantiation& inst,
   Timer timer;
   QueryInstance q =
       QueryInstance::Materialize(*config_->tmpl, *config_->domains, inst);
-  CandidateSpace candidates = CandidateSpace::Build(*config_->graph, q);
-  // Lemma 2 in reverse: every parent match remains a match after
-  // relaxation; only output candidates outside it need testing.
-  const NodeSet& base = candidates.of(q.output_node());
-  NodeSet untested;
-  untested.reserve(base.size());
-  std::set_difference(base.begin(), base.end(), parent.matches.begin(),
-                      parent.matches.end(), std::back_inserter(untested));
-  NodeSet fresh = matcher_.MatchOutput(q, candidates, &untested);
   NodeSet matches;
-  matches.reserve(fresh.size() + parent.matches.size());
-  std::set_union(fresh.begin(), fresh.end(), parent.matches.begin(),
-                 parent.matches.end(), std::back_inserter(matches));
-  if (out_candidates != nullptr) *out_candidates = std::move(candidates);
+  std::string key;
+  const bool hit = LookupCached(q, &matches, &key);
+  if (!hit || out_candidates != nullptr) {
+    CandidateSpace candidates =
+        CandidateSpace::Build(*config_->graph, q, /*degree_filter=*/false,
+                              config_->use_candidate_index,
+                              &matcher_.mutable_stats());
+    if (!hit) {
+      // Lemma 2 in reverse: every parent match remains a match after
+      // relaxation; only output candidates outside it need testing.
+      const NodeSet& base = candidates.of(q.output_node());
+      NodeSet untested;
+      untested.reserve(base.size());
+      std::set_difference(base.begin(), base.end(), parent.matches.begin(),
+                          parent.matches.end(), std::back_inserter(untested));
+      NodeSet fresh = matcher_.MatchOutput(q, candidates, &untested);
+      matches.reserve(fresh.size() + parent.matches.size());
+      std::set_union(fresh.begin(), fresh.end(), parent.matches.begin(),
+                     parent.matches.end(), std::back_inserter(matches));
+      if (!key.empty()) config_->match_cache->Insert(key, matches);
+    }
+    if (out_candidates != nullptr) *out_candidates = std::move(candidates);
+  }
   DiversityEvaluator::Parts parts = diversity_.RelaxParts(
       {parent.relevance_sum, parent.pair_sum}, parent.matches, matches);
   EvaluatedPtr out = FinishWithParts(inst, std::move(matches), parts);

@@ -5,6 +5,7 @@
 
 #include "core/config.h"
 #include "core/evaluated.h"
+#include "core/match_cache.h"
 #include "matching/subgraph_matcher.h"
 
 namespace fairsqg {
@@ -44,6 +45,11 @@ class InstanceVerifier {
   uint64_t num_verified() const { return verify_seq_; }
   double verify_seconds() const { return verify_seconds_; }
 
+  /// Match-set cache traffic of THIS verifier (deterministic per worker,
+  /// unlike the cache's global counters under parallel interleavings).
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_misses() const { return cache_misses_; }
+
   const DiversityEvaluator& diversity() const { return diversity_; }
   const CoverageEvaluator& coverage() const { return coverage_; }
   const MatchStats& match_stats() const { return matcher_.stats(); }
@@ -53,12 +59,19 @@ class InstanceVerifier {
   EvaluatedPtr FinishWithParts(const Instantiation& inst, NodeSet matches,
                                DiversityEvaluator::Parts parts);
 
+  /// Consults the configured cache for the materialized instance `q`.
+  /// On a hit, fills `*matches` and leaves `*key` empty; on a miss (or with
+  /// no cache), returns false with `*key` set iff a cache is configured.
+  bool LookupCached(const QueryInstance& q, NodeSet* matches, std::string* key);
+
   const QGenConfig* config_;
   SubgraphMatcher matcher_;
   DiversityEvaluator diversity_;
   CoverageEvaluator coverage_;
   uint64_t verify_seq_ = 0;
   double verify_seconds_ = 0;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
 };
 
 }  // namespace fairsqg

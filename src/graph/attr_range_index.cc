@@ -1,0 +1,65 @@
+#include "graph/attr_range_index.h"
+
+#include <algorithm>
+
+namespace fairsqg {
+
+AttrRangeIndex AttrRangeIndex::Build(
+    std::vector<std::pair<AttrValue, NodeId>> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const std::pair<AttrValue, NodeId>& a,
+               const std::pair<AttrValue, NodeId>& b) {
+              if (a.first < b.first) return true;
+              if (b.first < a.first) return false;
+              return a.second < b.second;
+            });
+  AttrRangeIndex index;
+  index.values_.reserve(entries.size());
+  index.nodes_.reserve(entries.size());
+  for (auto& [value, node] : entries) {
+    if (value.is_numeric()) ++index.num_numeric_;
+    index.values_.push_back(std::move(value));
+    index.nodes_.push_back(node);
+  }
+  return index;
+}
+
+std::pair<size_t, size_t> AttrRangeIndex::SliceBounds(CompareOp op,
+                                                      const AttrValue& x) const {
+  // Compare's mixed-type rule: a numeric constant only ever matches numeric
+  // values, a string constant only strings. The total order puts numerics
+  // first, so the admissible region is the numeric prefix or string suffix.
+  const size_t region_begin = x.is_numeric() ? 0 : num_numeric_;
+  const size_t region_end = x.is_numeric() ? num_numeric_ : values_.size();
+
+  auto begin = values_.begin() + static_cast<ptrdiff_t>(region_begin);
+  auto end = values_.begin() + static_cast<ptrdiff_t>(region_end);
+  // lower: first value !< x; upper: first value > x. Both stay inside the
+  // region because cross-type comparisons order the regions themselves.
+  const size_t lower = static_cast<size_t>(
+      std::lower_bound(begin, end, x) - values_.begin());
+  const size_t upper = static_cast<size_t>(
+      std::upper_bound(begin, end, x) - values_.begin());
+
+  switch (op) {
+    case CompareOp::kGt:
+      return {upper, region_end};
+    case CompareOp::kGe:
+      return {lower, region_end};
+    case CompareOp::kEq:
+      return {lower, upper};
+    case CompareOp::kLe:
+      return {region_begin, upper};
+    case CompareOp::kLt:
+      return {region_begin, lower};
+  }
+  return {0, 0};
+}
+
+std::span<const NodeId> AttrRangeIndex::SliceFor(CompareOp op,
+                                                 const AttrValue& x) const {
+  auto [lo, hi] = SliceBounds(op, x);
+  return {nodes_.data() + lo, hi - lo};
+}
+
+}  // namespace fairsqg

@@ -29,6 +29,17 @@ const NodeSet& Graph::NodesWithLabel(LabelId label) const {
   return label_index_[label];
 }
 
+const NodeBitset& Graph::LabelBitset(LabelId label) const {
+  if (label >= label_bitsets_.size()) return empty_bitset_;
+  return label_bitsets_[label];
+}
+
+const AttrRangeIndex* Graph::RangeIndex(LabelId label, AttrId a) const {
+  auto it = attr_index_.find({label, a});
+  if (it == attr_index_.end()) return nullptr;
+  return &it->second;
+}
+
 const std::vector<AttrValue>& Graph::ActiveDomain(AttrId a) const {
   if (a >= global_adom_.size()) return empty_domain_;
   return global_adom_[a];

@@ -9,7 +9,9 @@
 #include <utility>
 #include <vector>
 
+#include "graph/attr_range_index.h"
 #include "graph/attr_value.h"
+#include "graph/node_bitset.h"
 #include "graph/schema.h"
 #include "graph/types.h"
 
@@ -74,6 +76,15 @@ class Graph {
   /// `V(u)`: all nodes carrying `label`, ascending. Empty for unknown labels.
   const NodeSet& NodesWithLabel(LabelId label) const;
 
+  /// Characteristic bitset of `NodesWithLabel(label)` (O(1) membership);
+  /// an empty bitset for unknown labels.
+  const NodeBitset& LabelBitset(LabelId label) const;
+
+  /// Order index of `(label, a)`, or nullptr when no node with `label`
+  /// carries `a` (then no literal over `a` can be satisfied). Built once at
+  /// Graph build time; drives index-sliced candidate generation.
+  const AttrRangeIndex* RangeIndex(LabelId label, AttrId a) const;
+
   /// Global active domain adom(A): sorted unique values of attribute `a`.
   const std::vector<AttrValue>& ActiveDomain(AttrId a) const;
 
@@ -102,7 +113,12 @@ class Graph {
   std::vector<size_t> in_offsets_;
 
   std::vector<NodeSet> label_index_;  // indexed by LabelId
+  std::vector<NodeBitset> label_bitsets_;  // parallel to label_index_
   NodeSet empty_node_set_;
+  NodeBitset empty_bitset_;
+
+  // Attribute range indexes, one per (label, attr) pair present in G.
+  std::map<std::pair<LabelId, AttrId>, AttrRangeIndex> attr_index_;
 
   std::vector<std::vector<AttrValue>> global_adom_;  // indexed by AttrId
   std::map<std::pair<LabelId, AttrId>, std::vector<AttrValue>> label_adom_;

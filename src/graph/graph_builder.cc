@@ -119,15 +119,28 @@ Result<Graph> GraphBuilder::Build() && {
     if (g.node_labels_[v] < num_labels) g.label_index_[g.node_labels_[v]].push_back(v);
   }
 
-  // Active domains: global per attribute and per (node label, attribute).
+  // Per-label bitsets for O(1) label-membership tests.
+  g.label_bitsets_.reserve(g.label_index_.size());
+  for (const NodeSet& nodes : g.label_index_) {
+    g.label_bitsets_.push_back(NodeBitset::FromNodes(nodes, n));
+  }
+
+  // Active domains: global per attribute and per (node label, attribute),
+  // plus the attribute range indexes ((value, node) sorted per pair).
   size_t num_attrs = g.schema_->num_attrs();
   std::vector<std::set<AttrValue>> global(num_attrs);
   std::map<std::pair<LabelId, AttrId>, std::set<AttrValue>> per_label;
+  std::map<std::pair<LabelId, AttrId>, std::vector<std::pair<AttrValue, NodeId>>>
+      index_entries;
   for (NodeId v = 0; v < n; ++v) {
     for (const AttrEntry& e : g.attrs(v)) {
       global[e.attr].insert(e.value);
       per_label[{g.node_labels_[v], e.attr}].insert(e.value);
+      index_entries[{g.node_labels_[v], e.attr}].push_back({e.value, v});
     }
+  }
+  for (auto& [key, entries] : index_entries) {
+    g.attr_index_.emplace(key, AttrRangeIndex::Build(std::move(entries)));
   }
   g.global_adom_.resize(num_attrs);
   for (size_t a = 0; a < num_attrs; ++a) {

@@ -1,0 +1,83 @@
+#ifndef FAIRSQG_GRAPH_NODE_BITSET_H_
+#define FAIRSQG_GRAPH_NODE_BITSET_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace fairsqg {
+
+/// \brief Dense bitset over data-graph node ids.
+///
+/// The matcher's inner loop asks "is neighbour w a candidate of query node
+/// u?" once per adjacency entry; a word-indexed bit test answers in O(1)
+/// where a sorted-set binary search pays O(log k). The candidate pipeline
+/// also uses bitsets as scratch for multi-literal slice intersection
+/// (bitmap AND + set-bit extraction yields id-sorted candidates without a
+/// sort).
+class NodeBitset {
+ public:
+  NodeBitset() = default;
+  /// All-zero bitset able to hold nodes [0, num_nodes).
+  explicit NodeBitset(size_t num_nodes)
+      : num_bits_(num_nodes), words_((num_nodes + 63) / 64, 0) {}
+
+  /// Builds the characteristic bitset of `nodes` (ids < num_nodes).
+  static NodeBitset FromNodes(std::span<const NodeId> nodes, size_t num_nodes) {
+    NodeBitset b(num_nodes);
+    for (NodeId v : nodes) b.Set(v);
+    return b;
+  }
+
+  size_t num_bits() const { return num_bits_; }
+  bool empty() const { return words_.empty(); }
+
+  void Set(NodeId v) { words_[v >> 6] |= uint64_t{1} << (v & 63); }
+
+  /// O(1) membership; ids beyond the capacity are never members.
+  bool Test(NodeId v) const {
+    size_t w = v >> 6;
+    if (w >= words_.size()) return false;
+    return (words_[w] >> (v & 63)) & 1;
+  }
+
+  /// Intersects in place (`*this &= other`); trailing words beyond the
+  /// shorter operand are cleared.
+  void IntersectWith(const NodeBitset& other) {
+    size_t common = std::min(words_.size(), other.words_.size());
+    for (size_t i = 0; i < common; ++i) words_[i] &= other.words_[i];
+    std::fill(words_.begin() + static_cast<ptrdiff_t>(common), words_.end(), 0);
+  }
+
+  void ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// Appends every set bit to `out` in ascending id order.
+  void ExtractTo(NodeSet* out) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        unsigned tz = static_cast<unsigned>(__builtin_ctzll(bits));
+        out->push_back(static_cast<NodeId>((w << 6) + tz));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_GRAPH_NODE_BITSET_H_

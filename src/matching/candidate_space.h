@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "matching/match_stats.h"
 #include "query/instance.h"
 
 namespace fairsqg {
@@ -12,10 +13,23 @@ namespace fairsqg {
 /// \brief Per-query-node candidate sets: for each template node `u`, the
 /// data nodes with `u`'s label satisfying all of `u`'s bound literals.
 ///
-/// Candidate sets are shared copy-on-write between a parent instance and
-/// its lattice children, because a one-variable refinement only shrinks the
-/// candidates of the literal's node (Lemma 2): DeriveRefined reuses every
-/// other node's set by pointer.
+/// Each node stores the candidates twice: as a sorted id vector (for
+/// ordered iteration and merge-joins) and as a dense NodeBitset (for the
+/// matcher's O(1) membership probes). Both views are shared copy-on-write
+/// between a parent instance and its lattice children, because a
+/// one-variable refinement only shrinks the candidates of the literal's
+/// node (Lemma 2): DeriveRefined reuses every other node's entry by
+/// pointer, and an edge-variable step copies nothing at all.
+///
+/// Construction is selectivity-adaptive when `use_index` is set:
+///  - a node with no bound literals (and no effective degree filter)
+///    aliases the Graph-owned label set and label bitset — zero copies;
+///  - selective literals resolve through AttrRangeIndex slices, sorting the
+///    smallest slice and intersecting the rest by galloping merge or a
+///    direct per-node predicate test, whichever is cheaper;
+///  - unselective literals fall back to bitmap filtering: one AND per
+///    literal slice over dense bitsets, then set-bit extraction (which
+///    yields id-sorted output without a sort).
 class CandidateSpace {
  public:
   CandidateSpace() = default;
@@ -25,8 +39,12 @@ class CandidateSpace {
   /// candidate for an active query node must have at least the node's
   /// active out- and in-degrees: injectivity forces distinct data edges
   /// per query edge, so lower-degree nodes can never host an embedding.
+  /// `use_index=false` forces the reference label-scan path (NodeSatisfies
+  /// per node); `stats`, when non-null, accrues `index_slices`.
   static CandidateSpace Build(const Graph& g, const QueryInstance& q,
-                              bool degree_filter = false);
+                              bool degree_filter = false,
+                              bool use_index = true,
+                              MatchStats* stats = nullptr);
 
   /// Derives the space of a child instance that refines `parent_instance`'s
   /// space at one range variable: only that literal's node is re-filtered,
@@ -36,10 +54,22 @@ class CandidateSpace {
   /// `changed_var` uses the lattice encoding (range vars first).
   static CandidateSpace DeriveRefined(const Graph& g, const QueryInstance& child,
                                       const CandidateSpace& parent,
-                                      uint32_t changed_var);
+                                      uint32_t changed_var,
+                                      bool use_index = true,
+                                      MatchStats* stats = nullptr);
 
-  /// Candidates of query node `u`; never null after Build/Derive.
-  const NodeSet& of(QNodeId u) const { return *per_node_[u]; }
+  /// Candidates of query node `u`, ascending; never null after Build/Derive.
+  const NodeSet& of(QNodeId u) const { return *per_node_[u].nodes; }
+
+  /// Characteristic bitset of `of(u)` for O(1) membership probes.
+  const NodeBitset& bits(QNodeId u) const { return *per_node_[u].bits; }
+
+  /// True iff this space and `other` share node `u`'s candidate storage by
+  /// pointer (the copy-on-write contract; used by tests).
+  bool SharesEntryWith(const CandidateSpace& other, QNodeId u) const {
+    return per_node_[u].nodes == other.per_node_[u].nodes &&
+           per_node_[u].bits == other.per_node_[u].bits;
+  }
 
   size_t num_nodes() const { return per_node_.size(); }
 
@@ -47,7 +77,14 @@ class CandidateSpace {
   bool HasEmptyActive(const QueryInstance& q) const;
 
  private:
-  std::vector<std::shared_ptr<const NodeSet>> per_node_;
+  struct Entry {
+    std::shared_ptr<const NodeSet> nodes;
+    std::shared_ptr<const NodeBitset> bits;
+  };
+
+  static Entry MakeEntry(NodeSet set, size_t num_graph_nodes);
+
+  std::vector<Entry> per_node_;
 };
 
 /// True iff data node `v` carries `label` and satisfies every literal in

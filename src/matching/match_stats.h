@@ -1,0 +1,26 @@
+#ifndef FAIRSQG_MATCHING_MATCH_STATS_H_
+#define FAIRSQG_MATCHING_MATCH_STATS_H_
+
+#include <cstdint>
+
+namespace fairsqg {
+
+/// Counters accumulated across MatchOutput calls and candidate builds.
+struct MatchStats {
+  uint64_t instances_matched = 0;
+  uint64_t output_candidates_tested = 0;
+  uint64_t backtrack_steps = 0;
+
+  /// AttrRangeIndex slices taken while building candidate sets (one per
+  /// bound literal resolved through the index fast path).
+  uint64_t index_slices = 0;
+  /// O(1) candidate-membership bit tests in the backtracking inner loop
+  /// (each replaces a sorted-set binary search).
+  uint64_t bitset_probes = 0;
+
+  void Reset() { *this = MatchStats(); }
+};
+
+}  // namespace fairsqg
+
+#endif  // FAIRSQG_MATCHING_MATCH_STATS_H_

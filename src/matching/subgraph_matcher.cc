@@ -108,11 +108,12 @@ bool SubgraphMatcher::ExistsEmbedding(const QueryInstance& /*q*/,
     NodeId anchor = assignment[driver->matched_pos];
     auto adjacency = driver->outgoing_from_matched ? g_->OutEdges(anchor)
                                                    : g_->InEdges(anchor);
-    const NodeSet& cand = candidates.of(u);
+    const NodeBitset& cand = candidates.bits(u);
     for (const AdjEntry& e : adjacency) {
       if (e.edge_label != driver->label) continue;
       NodeId w = e.neighbor;
-      if (!InSortedSet(cand, w)) continue;
+      ++stats_.bitset_probes;
+      if (!cand.Test(w)) continue;
       // Injectivity (isomorphism semantics only).
       if (semantics_ == MatchSemantics::kIsomorphism) {
         bool used = false;
@@ -220,12 +221,13 @@ size_t SubgraphMatcher::EnumerateEmbeddings(const QueryInstance& q,
     NodeId anchor = assignment[driver.matched_pos];
     auto adjacency = driver.outgoing_from_matched ? g_->OutEdges(anchor)
                                                   : g_->InEdges(anchor);
-    const NodeSet& cand = candidates.of(u);
+    const NodeBitset& cand = candidates.bits(u);
     for (const AdjEntry& e : adjacency) {
       if (stop) return;
       if (e.edge_label != driver.label) continue;
       NodeId w = e.neighbor;
-      if (!InSortedSet(cand, w)) continue;
+      ++stats_.bitset_probes;
+      if (!cand.Test(w)) continue;
       if (semantics_ == MatchSemantics::kIsomorphism) {
         bool used = false;
         for (size_t i = 0; i < pos; ++i) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "matching/candidate_space.h"
+#include "matching/match_stats.h"
 
 namespace fairsqg {
 
@@ -13,15 +14,6 @@ namespace fairsqg {
 /// paper's semantics; embeddings are injective) or graph homomorphism
 /// (query nodes may map to the same data node — cheaper, larger answers).
 enum class MatchSemantics { kIsomorphism, kHomomorphism };
-
-/// Counters accumulated across MatchOutput calls.
-struct MatchStats {
-  uint64_t instances_matched = 0;
-  uint64_t output_candidates_tested = 0;
-  uint64_t backtrack_steps = 0;
-
-  void Reset() { *this = MatchStats(); }
-};
 
 /// \brief Subgraph-isomorphism engine computing output-node match sets.
 ///
@@ -63,7 +55,7 @@ class SubgraphMatcher {
   /// Return false from the visitor to stop the enumeration.
   using EmbeddingVisitor = std::function<bool(const std::vector<NodeId>&)>;
 
-  /// rief Enumerates every embedding of the instance (not just output
+  /// \brief Enumerates every embedding of the instance (not just output
   /// matches); returns the number of embeddings visited. `limit` 0 means
   /// unlimited. Useful for explanation UIs and benchmark auditing.
   size_t EnumerateEmbeddings(const QueryInstance& q,

@@ -12,12 +12,14 @@
 // match counts, diversity, coverage, and per-group coverage.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "common/flags.h"
 #include "core/bi_qgen.h"
 #include "core/enum_qgen.h"
 #include "core/kungs.h"
+#include "core/match_cache.h"
 #include "core/parallel_qgen.h"
 #include "core/rf_qgen.h"
 #include "graph/csv_loader.h"
@@ -135,6 +137,12 @@ int CmdGenerate(int argc, char** argv) {
   flags.DefineDouble("eps", 0.05, "epsilon tolerance");
   flags.DefineInt64("max-domain", 8, "domain coarsening cap per variable");
   flags.DefineDouble("lambda", 0.5, "diversity relevance/dissimilarity balance");
+  flags.DefineBool("candidate-index", true,
+                   "resolve candidates via attribute range indexes");
+  flags.DefineInt64("match-cache-mb", 64,
+                    "match-set cache budget in MiB (0 disables the cache)");
+  flags.DefineInt64("match-cache-shards", 16,
+                    "lock shards of the match-set cache");
   if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
 
   Result<Graph> g = ReadGraphFile(flags.GetString("graph"));
@@ -166,6 +174,17 @@ int CmdGenerate(int argc, char** argv) {
   config.groups = &*groups;
   config.epsilon = flags.GetDouble("eps");
   config.diversity.lambda = flags.GetDouble("lambda");
+  config.use_candidate_index = flags.GetBool("candidate-index");
+  std::unique_ptr<MatchSetCache> cache;
+  if (flags.GetInt64("match-cache-mb") > 0) {
+    MatchSetCache::Options cache_options;
+    cache_options.capacity_bytes =
+        static_cast<size_t>(flags.GetInt64("match-cache-mb")) << 20;
+    cache_options.num_shards =
+        static_cast<size_t>(flags.GetInt64("match-cache-shards"));
+    cache = std::make_unique<MatchSetCache>(cache_options);
+    config.match_cache = cache.get();
+  }
 
   const std::string& algo = flags.GetString("algorithm");
   Result<QGenResult> result = Status::InvalidArgument("unreachable");
@@ -187,6 +206,12 @@ int CmdGenerate(int argc, char** argv) {
   std::printf("%s: %zu suggested queries (%zu verified, %.2fs)\n", algo.c_str(),
               result->pareto.size(), result->stats.verified,
               result->stats.total_seconds);
+  if (cache != nullptr) {
+    MatchSetCache::CacheStats cs = cache->GetStats();
+    std::printf("match cache: %zu hits, %zu misses, %zu entries (%.1f MiB)\n",
+                static_cast<size_t>(cs.hits), static_cast<size_t>(cs.misses),
+                cs.entries, static_cast<double>(cs.bytes) / (1 << 20));
+  }
   for (const EvaluatedPtr& q : result->pareto) {
     std::printf("  %s -> %zu matches, delta=%.3f, f=%.1f (",
                 q->inst.ToString(*tmpl, domains).c_str(), q->matches.size(),
