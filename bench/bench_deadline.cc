@@ -1,0 +1,69 @@
+// Anytime degradation under deadlines (DESIGN.md §11): archive quality as
+// the wall-clock budget shrinks. A deadline-bounded BiQGen run returns the
+// ε-Pareto set of its verified prefix; the ε- and R-indicators against the
+// unbounded ground truth quantify how gracefully quality degrades, and the
+// overshoot column checks that runs actually stop near their deadline.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/run_context.h"
+#include "common/timer.h"
+#include "core/bi_qgen.h"
+
+namespace fairsqg::bench {
+namespace {
+
+int Run() {
+  PrintFigureHeader("Deadline", "Archive quality vs deadline budget",
+                    "Fig 9(a) setting; BiQGen under --deadline-ms style "
+                    "RunContext deadlines");
+  ScenarioOptions options = DefaultOptions("lki");
+  Result<Scenario> scenario = MakeScenario(options);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+  QGenConfig config = scenario->MakeConfig(0.01);
+  Result<Truth> truth = ComputeTruth(config);
+  if (!truth.ok()) {
+    std::fprintf(stderr, "%s\n", truth.status().ToString().c_str());
+    return 1;
+  }
+
+  // Unbounded run: the budget every deadline is a fraction of.
+  QGenResult full = BiQGen::Run(config).ValueOrDie();
+  double full_ms = full.stats.total_seconds * 1e3;
+
+  Table table({"deadline (ms)", "verified", "archive", "I_eps", "I_R",
+               "expired", "overshoot (ms)"});
+  for (double fraction : {2.0, 1.0, 0.5, 0.2, 0.1, 0.05, 0.01}) {
+    double deadline_ms = full_ms * fraction;
+    RunContext ctx;
+    ctx.SetDeadlineAfterMillis(deadline_ms);
+    QGenConfig bounded = config;
+    bounded.run_context = &ctx;
+    Timer timer;
+    QGenResult r = BiQGen::Run(bounded).ValueOrDie();
+    double elapsed_ms = timer.ElapsedSeconds() * 1e3;
+    EpsilonIndicatorResult ieps =
+        EpsilonIndicator(r.pareto, truth->pareto, config.epsilon);
+    double ir = RIndicator(r.pareto, 0.5, truth->maxima.diversity,
+                           truth->maxima.coverage);
+    table.AddRow({Fmt(deadline_ms, 2), std::to_string(r.stats.verified),
+                  std::to_string(r.pareto.size()), Fmt(ieps.indicator, 3),
+                  Fmt(ir, 3), r.stats.deadline_exceeded ? "yes" : "no",
+                  Fmt(elapsed_ms - deadline_ms, 2)});
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: quality degrades smoothly as the budget shrinks —\n"
+      "every row returns a valid (possibly smaller) archive, and overshoot\n"
+      "stays within one verification slice of the deadline.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairsqg::bench
+
+int main() { return fairsqg::bench::Run(); }

@@ -1,0 +1,106 @@
+#include "common/fault_injection.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace fairsqg::fault {
+
+namespace {
+
+struct SiteState {
+  FaultSpec spec;
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, SiteState> sites;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // Leaked: outlives all threads.
+  return *r;
+}
+
+/// Armed-site count; Hit() exits on one relaxed load when nothing is armed,
+/// keeping the compiled-in-but-idle hot-loop cost to a single atomic read.
+std::atomic<uint64_t> armed_sites{0};
+
+}  // namespace
+
+void Arm(const std::string& site, FaultSpec spec) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto [it, inserted] = r.sites.insert_or_assign(site, SiteState{spec, 0, 0});
+  (void)it;
+  if (inserted) armed_sites.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Disarm(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.sites.erase(site) > 0) {
+    armed_sites.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  armed_sites.fetch_sub(r.sites.size(), std::memory_order_relaxed);
+  r.sites.clear();
+}
+
+uint64_t HitCount(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+bool InjectionEnabled() {
+#ifdef FAIRSQG_FAULT_INJECTION
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool Hit(const char* site) {
+  if (armed_sites.load(std::memory_order_relaxed) == 0) return false;
+  uint64_t stall_micros = 0;
+  bool fail = false;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.sites.find(site);
+    if (it == r.sites.end()) return false;
+    SiteState& s = it->second;
+    ++s.hits;
+    uint64_t first = s.spec.trigger_after == 0 ? 1 : s.spec.trigger_after;
+    if (s.hits < first) return false;
+    if (s.spec.max_fires != 0 && s.fires >= s.spec.max_fires) return false;
+    ++s.fires;
+    switch (s.spec.action) {
+      case FaultSpec::Action::kNone:
+        return false;
+      case FaultSpec::Action::kFail:
+        fail = true;
+        break;
+      case FaultSpec::Action::kStall:
+        stall_micros = s.spec.stall_micros;
+        break;
+    }
+  }
+  // Sleep outside the registry lock so stalls do not serialize other sites.
+  if (stall_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(stall_micros));
+  }
+  return fail;
+}
+
+}  // namespace fairsqg::fault

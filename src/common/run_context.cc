@@ -1,0 +1,42 @@
+#include "common/run_context.h"
+
+namespace fairsqg {
+
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void RunContext::SetDeadlineAfterMillis(double ms) {
+  int64_t delta = static_cast<int64_t>(ms * 1e6);
+  int64_t at = NowNanos() + (delta > 0 ? delta : 0);
+  // 0 means "no deadline"; an exact collision just shifts by one nano.
+  deadline_ns_ = at == 0 ? 1 : at;
+}
+
+bool RunContext::HardExpired() const {
+  if (cancelled_.load(std::memory_order_relaxed)) return true;
+  return deadline_ns_ != 0 && NowNanos() >= deadline_ns_;
+}
+
+bool RunContext::PollVerification() {
+  if (Expired()) return true;
+  uint64_t count = polls_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (poll_limit_ != 0 && count >= poll_limit_) {
+    polls_exhausted_.store(true, std::memory_order_relaxed);
+    if (count > poll_limit_) {
+      // Lost the admission race against the poll that hit the limit:
+      // refuse and roll the count back so exactly poll_limit_ are admitted.
+      polls_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace fairsqg

@@ -18,6 +18,7 @@ enum class StatusCode {
   kIoError = 6,
   kInternal = 7,
   kUnimplemented = 8,
+  kDeadlineExceeded = 9,
 };
 
 /// \brief Returns a short human-readable name for a StatusCode.
@@ -48,6 +49,7 @@ class Status {
   static Status IoError(std::string msg);
   static Status Internal(std::string msg);
   static Status Unimplemented(std::string msg);
+  static Status DeadlineExceeded(std::string msg);
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
@@ -64,6 +66,9 @@ class Status {
   bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

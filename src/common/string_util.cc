@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <charconv>
+#include <cmath>
 #include <cstdlib>
 
 namespace fairsqg {
@@ -44,9 +46,13 @@ Result<double> ParseDouble(std::string_view text) {
   // NUL-terminated copy.
   std::string buf(text);
   char* end = nullptr;
+  errno = 0;
   double value = std::strtod(buf.c_str(), &end);
   if (end != buf.c_str() + buf.size()) {
     return Status::InvalidArgument("not a double: '" + buf + "'");
+  }
+  if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL)) {
+    return Status::InvalidArgument("double out of range: '" + buf + "'");
   }
   return value;
 }

@@ -8,6 +8,7 @@
 
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/enumerate.h"
 #include "core/pareto_archive.h"
 #include "core/template_refiner.h"
 #include "core/verifier.h"
@@ -65,6 +66,9 @@ struct ExplorerState {
   EvaluatedPtr last_forward;
   EvaluatedPtr last_backward;
 
+  /// RunContext expired: stop dispatching further verifications.
+  bool stopped = false;
+
   ExplorerState(const QGenConfig& cfg, QGenResult* res)
       : config(cfg),
         archive(cfg.epsilon),
@@ -72,8 +76,23 @@ struct ExplorerState {
         max_coverage(static_cast<double>(cfg.groups->total_constraint())) {}
 
   bool Budget() const {
-    return config.max_verifications == 0 ||
-           result->stats.verified < config.max_verifications;
+    return !stopped && (config.max_verifications == 0 ||
+                        result->stats.verified < config.max_verifications);
+  }
+
+  /// Polls the RunContext at a coordinator-side scheduling point (once per
+  /// verification about to be dispatched); true once expired. Only the
+  /// thread owning the exploration state may call this, so parallel runs
+  /// stay deterministic under poll-budget cancellation.
+  bool PollStop() {
+    if (stopped) return true;
+    if (config.run_context != nullptr &&
+        config.run_context->PollVerification()) {
+      stopped = true;
+      result->stats.deadline_exceeded = true;
+      return true;
+    }
+    return false;
   }
 
   /// Procedure SPrune: q lies strictly inside a recorded sandwich pair.
@@ -188,6 +207,7 @@ struct BiExplorer : ExplorerState {
       SpawnSandwichedForward(item);
       return;
     }
+    if (PollStop()) return;
 
     auto cands = std::make_shared<CandidateSpace>();
     EvaluatedPtr eval;
@@ -198,6 +218,7 @@ struct BiExplorer : ExplorerState {
     } else {
       eval = verifier.Verify(item.inst, cands.get());
     }
+    if (eval == nullptr) return;  // Aborted mid-match; subtree abandoned.
     ++result->stats.verified;
     if (!eval->feasible) return;  // Refinements stay infeasible (Lemma 2).
     ++result->stats.feasible;
@@ -244,12 +265,14 @@ struct BiExplorer : ExplorerState {
       ++result->stats.pruned_sandwich;
       return;
     }
+    if (PollStop()) return;
     EvaluatedPtr eval;
     if (item.parent_eval != nullptr && config.use_incremental_verify) {
       eval = verifier.VerifyRelaxed(item.inst, *item.parent_eval);
     } else {
       eval = verifier.Verify(item.inst);
     }
+    if (eval == nullptr) return;  // Aborted mid-match; descent abandoned.
     ++result->stats.verified;
     if (eval->feasible) {
       ++result->stats.feasible;
@@ -282,6 +305,7 @@ struct BiExplorer : ExplorerState {
     result->stats.SetSequentialVerifySeconds(verifier.verify_seconds());
     result->stats.cache_hits = verifier.cache_hits();
     result->stats.cache_misses = verifier.cache_misses();
+    FoldDegradedStats(verifier, &result->stats);
   }
 };
 
@@ -339,6 +363,10 @@ struct ParallelBiExplorer : ExplorerState {
   /// Pops frontier items into `batch`, alternating directions like the
   /// sequential interleaving; visited/sandwich-pruned items are consumed
   /// here (sandwiched forward items spawn their children immediately).
+  /// RunContext polling happens here, once per admitted slot, on the
+  /// coordinator only: workers never observe poll-budget expiry, so the
+  /// dispatched set is an exact deterministic prefix and the final batch
+  /// always completes and folds fully (deterministic pool drain).
   void CollectBatch(std::vector<Slot>* batch) {
     batch->clear();
     const size_t limit = BatchLimit();
@@ -359,6 +387,7 @@ struct ParallelBiExplorer : ExplorerState {
         if (take_forward) SpawnSandwichedForward(item);
         continue;
       }
+      if (PollStop()) break;
       Slot slot;
       slot.item = std::move(item);
       slot.is_forward = take_forward;
@@ -381,7 +410,7 @@ struct ParallelBiExplorer : ExplorerState {
       } else {
         slot->eval = verifier.Verify(slot->item.inst, slot->cands.get());
       }
-      if (!slot->eval->feasible) return;
+      if (slot->eval == nullptr || !slot->eval->feasible) return;
       // Speculative: wasted only if the fold subtree-prunes this slot.
       RefinementHints hints =
           config.use_template_refinement
@@ -397,7 +426,7 @@ struct ParallelBiExplorer : ExplorerState {
       } else {
         slot->eval = verifier.Verify(slot->item.inst);
       }
-      if (slot->eval->feasible) return;
+      if (slot->eval == nullptr || slot->eval->feasible) return;
       slot->children = LatticeNeighbors::RelaxChildren(
           *config.tmpl, *config.domains, slot->item.inst);
       slot->beam_dropped = ApplyBackwardBeam(&slot->children);
@@ -407,6 +436,7 @@ struct ParallelBiExplorer : ExplorerState {
   /// Coordinator-only: fold one verified slot back into the exploration
   /// state (mirrors the post-verification halves of Step{Forward,Backward}).
   void FoldSlot(Slot& slot) {
+    if (slot.eval == nullptr) return;  // Aborted mid-match (hard expiry).
     ++result->stats.verified;
     if (slot.is_forward) {
       if (!slot.eval->feasible) return;
@@ -465,6 +495,7 @@ struct ParallelBiExplorer : ExplorerState {
           std::max(result->stats.verify_wall_seconds, seconds);
       result->stats.cache_hits += v->cache_hits();
       result->stats.cache_misses += v->cache_misses();
+      FoldDegradedStats(*v, &result->stats);
     }
     result->stats.stolen = pool.stats().stolen;
   }
@@ -478,8 +509,12 @@ Result<QGenResult> BiQGen::Run(const QGenConfig& config) {
   QGenResult result;
   BiExplorer explorer(config, &result);
   explorer.Run();
+  if (config.run_context != nullptr && config.run_context->Expired()) {
+    result.stats.deadline_exceeded = true;
+  }
   result.pareto = explorer.archive.SortedEntries();
   result.stats.total_seconds = timer.ElapsedSeconds();
+  FAIRSQG_RETURN_NOT_OK(ApplyExpiryPolicy(config, result.stats));
   return result;
 }
 
@@ -494,8 +529,12 @@ Result<QGenResult> BiQGen::RunParallel(const QGenConfig& config,
   QGenResult result;
   ParallelBiExplorer explorer(config, &result, num_threads);
   explorer.Run();
+  if (config.run_context != nullptr && config.run_context->Expired()) {
+    result.stats.deadline_exceeded = true;
+  }
   result.pareto = explorer.archive.SortedEntries();
   result.stats.total_seconds = timer.ElapsedSeconds();
+  FAIRSQG_RETURN_NOT_OK(ApplyExpiryPolicy(config, result.stats));
   return result;
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "core/groups.h"
 #include "core/measures.h"
@@ -58,6 +59,15 @@ struct QGenConfig {
 
   /// Safety cap on verifications; 0 means unlimited.
   size_t max_verifications = 0;
+
+  /// Optional cancellation / deadline / step-budget context (non-owning;
+  /// null = unbounded run). Generators poll it between verifications and
+  /// stop cleanly on expiry, returning the best-so-far archive with
+  /// GenStats::deadline_exceeded set; the matcher additionally polls its
+  /// hard-expiry axis inside the backtracking loop (DESIGN.md §11). With
+  /// ExpiryPolicy::kFail the generator returns Status::DeadlineExceeded
+  /// instead of a degraded result.
+  RunContext* run_context = nullptr;
 
   /// Record an anytime-quality trace point after every archive update
   /// (drives the Fig. 9(e) / Fig. 11(b) anytime plots).

@@ -13,11 +13,17 @@ Result<QGenResult> EnumQGen::Run(const QGenConfig& config) {
   InstanceVerifier verifier(config);
   ParetoArchive archive(config.epsilon);
 
+  RunContext* ctx = config.run_context;
   InstantiationEnumerator it(*config.tmpl, *config.domains);
   Instantiation inst;
   while (it.Next(&inst)) {
-    EvaluatedPtr e = verifier.Verify(inst);
+    if (ctx != nullptr && ctx->PollVerification()) {
+      result.stats.deadline_exceeded = true;
+      break;
+    }
     ++result.stats.generated;
+    EvaluatedPtr e = verifier.Verify(inst);
+    if (e == nullptr) continue;  // Aborted mid-match; instance dropped.
     ++result.stats.verified;
     if (e->feasible) {
       ++result.stats.feasible;
@@ -32,11 +38,14 @@ Result<QGenResult> EnumQGen::Run(const QGenConfig& config) {
       break;
     }
   }
+  if (ctx != nullptr && ctx->Expired()) result.stats.deadline_exceeded = true;
   result.pareto = archive.SortedEntries();
   result.stats.SetSequentialVerifySeconds(verifier.verify_seconds());
   result.stats.cache_hits = verifier.cache_hits();
   result.stats.cache_misses = verifier.cache_misses();
+  FoldDegradedStats(verifier, &result.stats);
   result.stats.total_seconds = timer.ElapsedSeconds();
+  FAIRSQG_RETURN_NOT_OK(ApplyExpiryPolicy(config, result.stats));
   return result;
 }
 

@@ -64,13 +64,19 @@ Result<std::vector<EvaluatedPtr>> VerifyAllInstances(const QGenConfig& config,
         " > " + std::to_string(cap) + "; coarsen the variable domains");
   }
   Timer timer;
+  RunContext* ctx = config.run_context;
   std::vector<EvaluatedPtr> all;
   all.reserve(it.SpaceSize());
   Instantiation inst;
   while (it.Next(&inst)) {
+    if (ctx != nullptr && ctx->PollVerification()) {
+      if (stats != nullptr) stats->deadline_exceeded = true;
+      break;
+    }
+    if (stats != nullptr) ++stats->generated;
     EvaluatedPtr e = verifier->Verify(inst);
+    if (e == nullptr) continue;  // Aborted mid-match; instance dropped.
     if (stats != nullptr) {
-      ++stats->generated;
       ++stats->verified;
       if (e->feasible) ++stats->feasible;
     }
@@ -79,8 +85,32 @@ Result<std::vector<EvaluatedPtr>> VerifyAllInstances(const QGenConfig& config,
       break;
     }
   }
-  if (stats != nullptr) stats->total_seconds += timer.ElapsedSeconds();
+  if (stats != nullptr) {
+    if (ctx != nullptr && ctx->Expired()) stats->deadline_exceeded = true;
+    stats->total_seconds += timer.ElapsedSeconds();
+    FoldDegradedStats(*verifier, stats);
+    FAIRSQG_RETURN_NOT_OK(ApplyExpiryPolicy(config, *stats));
+  }
   return all;
+}
+
+void FoldDegradedStats(const InstanceVerifier& verifier, GenStats* stats) {
+  stats->aborted_matches += verifier.aborted_matches();
+  stats->timed_out_instances += verifier.timed_out_instances();
+}
+
+Status ApplyExpiryPolicy(const QGenConfig& config, const GenStats& stats) {
+  if (!stats.deadline_exceeded || config.run_context == nullptr) {
+    return Status::OK();
+  }
+  if (config.run_context->on_expiry() == ExpiryPolicy::kFail) {
+    return Status::DeadlineExceeded(
+        "generation stopped early (deadline/cancellation) after " +
+        std::to_string(stats.verified) +
+        " verifications; rerun with ExpiryPolicy::kPartial to accept the "
+        "truncated archive");
+  }
+  return Status::OK();
 }
 
 std::vector<EvaluatedPtr> FeasibleOnly(const std::vector<EvaluatedPtr>& all) {

@@ -50,6 +50,17 @@ Result<std::vector<EvaluatedPtr>> VerifyAllInstances(const QGenConfig& config,
 /// Convenience: feasible subset of `all`.
 std::vector<EvaluatedPtr> FeasibleOnly(const std::vector<EvaluatedPtr>& all);
 
+/// Adds a verifier's degraded-run counters (aborted matcher searches,
+/// instances dropped on abort) into `stats`. Every generator calls this
+/// once per verifier before returning.
+void FoldDegradedStats(const InstanceVerifier& verifier, GenStats* stats);
+
+/// Maps a truncated run onto the configured expiry policy: OK under
+/// ExpiryPolicy::kPartial (caller returns the best-so-far archive),
+/// Status::DeadlineExceeded under kFail. No-op when the run completed or
+/// no RunContext is configured.
+Status ApplyExpiryPolicy(const QGenConfig& config, const GenStats& stats);
+
 /// Exact Pareto set of `instances` by sort-and-sweep (Kung et al.'s
 /// algorithm specialised to two objectives): sort by descending diversity,
 /// keep instances whose coverage strictly exceeds the running maximum.

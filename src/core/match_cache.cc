@@ -3,6 +3,9 @@
 #include <cstring>
 #include <functional>
 
+#include "common/fault_injection.h"
+#include "common/logging.h"
+
 namespace fairsqg {
 
 namespace {
@@ -46,8 +49,27 @@ size_t EntryBytes(const std::string& key, const NodeSet& matches) {
 
 }  // namespace
 
+Status MatchSetCache::ValidateOptions(const Options& options) {
+  if (options.capacity_bytes == 0) {
+    return Status::InvalidArgument(
+        "MatchSetCache capacity_bytes must be non-zero (a zero budget "
+        "admits no entries; disable the cache instead)");
+  }
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("MatchSetCache num_shards must be non-zero");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<MatchSetCache>> MatchSetCache::Create(Options options) {
+  FAIRSQG_RETURN_NOT_OK(ValidateOptions(options));
+  return std::make_unique<MatchSetCache>(options);
+}
+
 MatchSetCache::MatchSetCache(Options options) {
-  num_shards_ = RoundUpPow2(options.num_shards == 0 ? 1 : options.num_shards);
+  Status valid = ValidateOptions(options);
+  FAIRSQG_CHECK(valid.ok()) << valid.ToString();
+  num_shards_ = RoundUpPow2(options.num_shards);
   shard_capacity_ = options.capacity_bytes / num_shards_;
   shards_ = std::make_unique<Shard[]>(num_shards_);
 }
@@ -55,8 +77,12 @@ MatchSetCache::MatchSetCache(Options options) {
 std::string MatchSetCache::KeyFor(const QueryInstance& q) {
   const Instantiation& inst = q.instantiation();
   std::string key;
-  key.reserve(16 + inst.num_edge_vars() +
-              q.tmpl().literals().size() * (sizeof(AttrId) + 10));
+  // Fault site: allocation throttling — a kFail skips the size hint; the
+  // key bytes (and hence every lookup) are unchanged.
+  if (!FAIRSQG_FAULT_POINT("cache.reserve")) {
+    key.reserve(16 + inst.num_edge_vars() +
+                q.tmpl().literals().size() * (sizeof(AttrId) + 10));
+  }
   // Edge-variable assignment (determines the active component and edges).
   for (EdgeVarId x = 0; x < inst.num_edge_vars(); ++x) {
     key.push_back(static_cast<char>(inst.edge_binding(x)));
@@ -83,6 +109,9 @@ MatchSetCache::Shard& MatchSetCache::ShardFor(const std::string& key) {
 }
 
 bool MatchSetCache::Lookup(const std::string& key, NodeSet* out) {
+  // Fault site: a kFail turns this lookup into a miss — the verifier must
+  // recompute and produce byte-identical results (cache transparency).
+  if (FAIRSQG_FAULT_POINT("cache.lookup")) return false;
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(std::string_view(key));
@@ -97,6 +126,9 @@ bool MatchSetCache::Lookup(const std::string& key, NodeSet* out) {
 }
 
 void MatchSetCache::Insert(const std::string& key, const NodeSet& matches) {
+  // Fault site: a kFail simulates an admission failure (entry dropped).
+  // Callers never depend on insertion succeeding.
+  if (FAIRSQG_FAULT_POINT("cache.insert")) return;
   const size_t bytes = EntryBytes(key, matches);
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);

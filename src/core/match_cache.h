@@ -10,6 +10,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/result.h"
+#include "common/status.h"
 #include "graph/types.h"
 #include "query/instance.h"
 
@@ -43,13 +45,26 @@ namespace fairsqg {
 class MatchSetCache {
  public:
   struct Options {
-    /// Total byte budget across all shards.
+    /// Total byte budget across all shards; must be non-zero (a zero
+    /// budget would silently admit nothing — reject it instead).
     size_t capacity_bytes = size_t{64} << 20;
-    /// Rounded up to a power of two; 1 disables sharding.
+    /// Rounded up to a power of two; 1 disables sharding; must be
+    /// non-zero.
     size_t num_shards = 16;
   };
 
+  /// Rejects degenerate configurations (zero byte budget, zero shards)
+  /// with kInvalidArgument instead of constructing a cache that caches
+  /// nothing or divides by zero.
+  static Status ValidateOptions(const Options& options);
+
+  /// Validating factory: the preferred way to build a cache from
+  /// user-supplied options (CLI flags, config files).
+  static Result<std::unique_ptr<MatchSetCache>> Create(Options options);
+
   MatchSetCache() : MatchSetCache(Options()) {}
+  /// CHECK-fails on options that ValidateOptions rejects; use Create for
+  /// untrusted input.
   explicit MatchSetCache(Options options);
   MatchSetCache(const MatchSetCache&) = delete;
   MatchSetCache& operator=(const MatchSetCache&) = delete;

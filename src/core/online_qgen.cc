@@ -41,9 +41,24 @@ void OnlineQGen::TryPromoteCached() {
 
 double OnlineQGen::Process(const Instantiation& inst) {
   Timer timer;
-  EvaluatedPtr eval = verifier_.Verify(inst);  // Line 4.
+  if (config_->run_context != nullptr &&
+      config_->run_context->PollVerification()) {
+    // Stream element dropped: the archive keeps serving its current
+    // best-so-far top-k; the caller sees the flag in Snapshot().stats.
+    stats_.deadline_exceeded = true;
+    return 0;
+  }
   ++now_;
   ++stats_.generated;
+  EvaluatedPtr eval = verifier_.Verify(inst);  // Line 4.
+  if (eval == nullptr) {
+    // Aborted mid-match; drop this element, keep the stream alive.
+    stats_.aborted_matches = verifier_.aborted_matches();
+    stats_.timed_out_instances = verifier_.timed_out_instances();
+    double aborted_elapsed = timer.ElapsedSeconds();
+    stats_.total_seconds += aborted_elapsed;
+    return aborted_elapsed;
+  }
   ++stats_.verified;
   ExpireWindow();
   if (!eval->feasible) {
@@ -109,6 +124,8 @@ double OnlineQGen::Process(const Instantiation& inst) {
   stats_.SetSequentialVerifySeconds(verifier_.verify_seconds());
   stats_.cache_hits = verifier_.cache_hits();
   stats_.cache_misses = verifier_.cache_misses();
+  stats_.aborted_matches = verifier_.aborted_matches();
+  stats_.timed_out_instances = verifier_.timed_out_instances();
   return elapsed;
 }
 

@@ -52,18 +52,28 @@ Result<QGenResult> ParallelQGen::Run(const QGenConfig& config,
   }
 
   // Shared pull source: workers refill a private chunk under this mutex.
+  // The RunContext is polled here, once per dispatched instance and under
+  // the lock: poll-budget expiry therefore cuts the dispatched set at an
+  // exact instance count (workers always finish what was handed out, so
+  // cancellation drains the pool deterministically).
   std::mutex enum_mutex;
   size_t dispatched = 0;   // Guarded by enum_mutex.
   size_t num_chunks = 0;   // Guarded by enum_mutex.
   bool exhausted = false;
+  bool expired = false;    // Guarded by enum_mutex.
+  RunContext* ctx = config.run_context;
   auto fill_chunk = [&](std::vector<Instantiation>* chunk) {
     chunk->clear();
     std::lock_guard<std::mutex> lock(enum_mutex);
-    if (exhausted) return;
+    if (exhausted || expired) return;
     Instantiation inst;
     while (chunk->size() < kChunkSize &&
            (config.max_verifications == 0 ||
             dispatched < config.max_verifications)) {
+      if (ctx != nullptr && ctx->PollVerification()) {
+        expired = true;
+        break;
+      }
       if (!it.Next(&inst)) {
         exhausted = true;
         break;
@@ -88,6 +98,7 @@ Result<QGenResult> ParallelQGen::Run(const QGenConfig& config,
         if (chunk.empty()) return;
         for (const Instantiation& inst : chunk) {
           EvaluatedPtr e = state.verifier->Verify(inst);
+          if (e == nullptr) continue;  // Aborted mid-match (hard expiry).
           ++state.verified;
           if (e->feasible) {
             ++state.feasible;
@@ -109,12 +120,17 @@ Result<QGenResult> ParallelQGen::Run(const QGenConfig& config,
         std::max(result.stats.verify_wall_seconds, seconds);
     result.stats.cache_hits += s.verifier->cache_hits();
     result.stats.cache_misses += s.verifier->cache_misses();
+    FoldDegradedStats(*s.verifier, &result.stats);
+  }
+  if (expired || (ctx != nullptr && ctx->Expired())) {
+    result.stats.deadline_exceeded = true;
   }
   result.stats.generated = dispatched;
   result.stats.enqueued = num_chunks;
   result.stats.stolen = pool.stats().stolen;
   result.pareto = archive.MergedSortedEntries();
   result.stats.total_seconds = timer.ElapsedSeconds();
+  FAIRSQG_RETURN_NOT_OK(ApplyExpiryPolicy(config, result.stats));
   return result;
 }
 

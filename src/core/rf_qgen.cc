@@ -38,6 +38,8 @@ struct Explorer {
   std::unordered_set<Instantiation, Instantiation::Hasher> visited;
   QGenResult* result;
   double max_coverage;
+  /// RunContext expired: unwind the recursion without further verifies.
+  bool stopped = false;
 
   Explorer(const QGenConfig& cfg, QGenResult* res)
       : config(cfg),
@@ -47,8 +49,8 @@ struct Explorer {
         max_coverage(static_cast<double>(cfg.groups->total_constraint())) {}
 
   bool Budget() const {
-    return config.max_verifications == 0 ||
-           result->stats.verified < config.max_verifications;
+    return !stopped && (config.max_verifications == 0 ||
+                        result->stats.verified < config.max_verifications);
   }
 
   /// Procedure BFExplore (Fig. 3). `parent` is null at the lattice root.
@@ -57,6 +59,12 @@ struct Explorer {
     if (!Budget()) return;
     if (!visited.insert(inst).second) {
       ++result->stats.pruned;  // Reached via another lattice path already.
+      return;
+    }
+    if (config.run_context != nullptr &&
+        config.run_context->PollVerification()) {
+      stopped = true;
+      result->stats.deadline_exceeded = true;
       return;
     }
 
@@ -68,6 +76,7 @@ struct Explorer {
     } else {
       eval = verifier.Verify(inst, &cands);
     }
+    if (eval == nullptr) return;  // Aborted mid-match; subtree abandoned.
     ++result->stats.verified;
     if (!eval->feasible) return;  // Backtrack: the whole subtree is infeasible.
     ++result->stats.feasible;
@@ -109,11 +118,16 @@ Result<QGenResult> RfQGen::Run(const QGenConfig& config) {
   Instantiation root = Instantiation::MostRelaxed(*config.tmpl);
   ++result.stats.generated;
   explorer.Explore(root, nullptr, nullptr, 0);
+  if (config.run_context != nullptr && config.run_context->Expired()) {
+    result.stats.deadline_exceeded = true;
+  }
   result.pareto = explorer.archive.SortedEntries();
   result.stats.SetSequentialVerifySeconds(explorer.verifier.verify_seconds());
   result.stats.cache_hits = explorer.verifier.cache_hits();
   result.stats.cache_misses = explorer.verifier.cache_misses();
+  FoldDegradedStats(explorer.verifier, &result.stats);
   result.stats.total_seconds = timer.ElapsedSeconds();
+  FAIRSQG_RETURN_NOT_OK(ApplyExpiryPolicy(config, result.stats));
   return result;
 }
 

@@ -37,6 +37,13 @@ struct GenStats {
   size_t cache_hits = 0;    ///< Verifications answered from the cache.
   size_t cache_misses = 0;  ///< Lookups that fell through to the matcher.
 
+  // Degraded-run counters (RunContext cancellation / deadlines, DESIGN.md
+  // §11). A truncated run returns the best-so-far archive with
+  // `deadline_exceeded` set instead of crashing or hanging.
+  bool deadline_exceeded = false;  ///< Run stopped early (deadline/cancel).
+  size_t aborted_matches = 0;      ///< Matcher searches cut off mid-flight.
+  size_t timed_out_instances = 0;  ///< Instances whose verification aborted.
+
   double total_seconds = 0;
   double verify_cpu_seconds = 0;   ///< Verifier time summed across workers.
   double verify_wall_seconds = 0;  ///< Max per-worker verifier time.
@@ -69,6 +76,12 @@ struct GenStats {
     if (cache_hits > 0 || cache_misses > 0) {
       s += " cache_hits=" + std::to_string(cache_hits) +
            " cache_misses=" + std::to_string(cache_misses);
+    }
+    if (deadline_exceeded || aborted_matches > 0 || timed_out_instances > 0) {
+      s += std::string(" deadline_exceeded=") +
+           (deadline_exceeded ? "true" : "false") +
+           " aborted_matches=" + std::to_string(aborted_matches) +
+           " timed_out_instances=" + std::to_string(timed_out_instances);
     }
     return s;
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "common/fault_injection.h"
 #include "common/timer.h"
 
 namespace fairsqg {
@@ -36,6 +37,12 @@ EvaluatedPtr InstanceVerifier::Finish(const Instantiation& inst, NodeSet matches
   return FinishWithParts(inst, std::move(matches), parts);
 }
 
+EvaluatedPtr InstanceVerifier::RecordAbort() {
+  ++aborted_matches_;
+  ++timed_out_instances_;
+  return nullptr;
+}
+
 bool InstanceVerifier::LookupCached(const QueryInstance& q, NodeSet* matches,
                                     std::string* key) {
   if (config_->match_cache == nullptr) return false;
@@ -63,7 +70,13 @@ EvaluatedPtr InstanceVerifier::Verify(const Instantiation& inst,
         /*degree_filter=*/config_->semantics == MatchSemantics::kIsomorphism,
         config_->use_candidate_index, &matcher_.mutable_stats());
     if (!hit) {
-      matches = matcher_.MatchOutput(q, candidates);
+      MatchResult res =
+          matcher_.MatchOutputBounded(q, candidates, config_->run_context);
+      if (res.outcome == MatchOutcome::kAborted) {
+        verify_seconds_ += timer.ElapsedSeconds();
+        return RecordAbort();  // Partial matches: never cached.
+      }
+      matches = std::move(res.matches);
       if (!key.empty()) config_->match_cache->Insert(key, matches);
     }
     if (out_candidates != nullptr) *out_candidates = std::move(candidates);
@@ -91,7 +104,13 @@ EvaluatedPtr InstanceVerifier::VerifyRefined(const Instantiation& inst,
         config_->use_candidate_index, &matcher_.mutable_stats());
     if (!hit) {
       // Lemma 2: q(G) ⊆ parent's match set; test only the parent's matches.
-      matches = matcher_.MatchOutput(q, candidates, &parent.matches);
+      MatchResult res = matcher_.MatchOutputBounded(
+          q, candidates, config_->run_context, &parent.matches);
+      if (res.outcome == MatchOutcome::kAborted) {
+        verify_seconds_ += timer.ElapsedSeconds();
+        return RecordAbort();  // Partial matches: never cached.
+      }
+      matches = std::move(res.matches);
       if (!key.empty()) config_->match_cache->Insert(key, matches);
     }
     if (out_candidates != nullptr) *out_candidates = std::move(candidates);
@@ -123,11 +142,24 @@ EvaluatedPtr InstanceVerifier::VerifyRelaxed(const Instantiation& inst,
       // relaxation; only output candidates outside it need testing.
       const NodeSet& base = candidates.of(q.output_node());
       NodeSet untested;
-      untested.reserve(base.size());
+      // Fault site: allocation throttling — a kFail here skips the reserve
+      // hints; the result must stay byte-identical, only reallocation
+      // behaviour changes.
+      if (!FAIRSQG_FAULT_POINT("verifier.reserve")) {
+        untested.reserve(base.size());
+      }
       std::set_difference(base.begin(), base.end(), parent.matches.begin(),
                           parent.matches.end(), std::back_inserter(untested));
-      NodeSet fresh = matcher_.MatchOutput(q, candidates, &untested);
-      matches.reserve(fresh.size() + parent.matches.size());
+      MatchResult res = matcher_.MatchOutputBounded(
+          q, candidates, config_->run_context, &untested);
+      if (res.outcome == MatchOutcome::kAborted) {
+        verify_seconds_ += timer.ElapsedSeconds();
+        return RecordAbort();  // Partial matches: never cached.
+      }
+      NodeSet fresh = std::move(res.matches);
+      if (!FAIRSQG_FAULT_POINT("verifier.reserve")) {
+        matches.reserve(fresh.size() + parent.matches.size());
+      }
       std::set_union(fresh.begin(), fresh.end(), parent.matches.begin(),
                      parent.matches.end(), std::back_inserter(matches));
       if (!key.empty()) config_->match_cache->Insert(key, matches);

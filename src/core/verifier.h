@@ -17,12 +17,18 @@ namespace fairsqg {
 /// set is derived from its parent's by exploiting Lemma 2 — a refinement's
 /// matches are a subset of the parent's (only exclusions need testing), and
 /// a relaxation's matches are a superset (only additions need testing).
+///
+/// When the configuration carries a RunContext, a match search that trips
+/// the context (hard expiry) or the per-match step budget returns nullptr:
+/// the partial match set is discarded and never cached, and the abort is
+/// recorded in aborted_matches()/timed_out_instances() for GenStats folding.
 class InstanceVerifier {
  public:
   explicit InstanceVerifier(const QGenConfig& config);
 
   /// Full verification from scratch. If `out_candidates` is non-null, the
   /// instance's candidate space is returned for incremental children.
+  /// Returns nullptr iff the bounded match aborted (see class comment).
   EvaluatedPtr Verify(const Instantiation& inst,
                       CandidateSpace* out_candidates = nullptr);
 
@@ -50,6 +56,13 @@ class InstanceVerifier {
   uint64_t cache_hits() const { return cache_hits_; }
   uint64_t cache_misses() const { return cache_misses_; }
 
+  /// Degraded-run accounting of THIS verifier: matcher searches aborted by
+  /// the RunContext / step budget, and instances returned as nullptr
+  /// because of such an abort (one instance may abort several searches on
+  /// retries, so the two counters are tracked separately).
+  uint64_t aborted_matches() const { return aborted_matches_; }
+  uint64_t timed_out_instances() const { return timed_out_instances_; }
+
   const DiversityEvaluator& diversity() const { return diversity_; }
   const CoverageEvaluator& coverage() const { return coverage_; }
   const MatchStats& match_stats() const { return matcher_.stats(); }
@@ -64,6 +77,9 @@ class InstanceVerifier {
   /// no cache), returns false with `*key` set iff a cache is configured.
   bool LookupCached(const QueryInstance& q, NodeSet* matches, std::string* key);
 
+  /// Records an aborted bounded match and produces the nullptr result.
+  EvaluatedPtr RecordAbort();
+
   const QGenConfig* config_;
   SubgraphMatcher matcher_;
   DiversityEvaluator diversity_;
@@ -72,6 +88,8 @@ class InstanceVerifier {
   double verify_seconds_ = 0;
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
+  uint64_t aborted_matches_ = 0;
+  uint64_t timed_out_instances_ = 0;
 };
 
 }  // namespace fairsqg

@@ -106,14 +106,28 @@ Result<Graph> LoadCsvGraph(std::istream& nodes, std::istream& edges,
       return Status::InvalidArgument("node line " + std::to_string(line_no) +
                                      ": duplicate id '" + id + "'");
     }
-    NodeId v = builder.AddNode(StripWhitespace(cells[1]));
+    std::string_view node_label = StripWhitespace(cells[1]);
+    if (node_label.empty()) {
+      return Status::InvalidArgument("node line " + std::to_string(line_no) +
+                                     ": empty label");
+    }
+    NodeId v = builder.AddNode(node_label);
     ids.emplace(std::move(id), v);
     for (size_t i = 0; i < columns.size(); ++i) {
       std::string_view cell = StripWhitespace(cells[i + 2]);
       if (cell.empty()) continue;  // Absent attribute.
-      FAIRSQG_ASSIGN_OR_RETURN(AttrValue value, ParseCell(cell, columns[i].type));
-      builder.SetAttr(v, columns[i].name, std::move(value));
+      Result<AttrValue> value = ParseCell(cell, columns[i].type);
+      if (!value.ok()) {
+        return Status::InvalidArgument(
+            "node line " + std::to_string(line_no) + ", column '" +
+            columns[i].name + "': " + value.status().message());
+      }
+      builder.SetAttr(v, columns[i].name, std::move(*value));
     }
+  }
+  if (nodes.bad()) {
+    return Status::IoError("node CSV read failed after line " +
+                           std::to_string(line_no) + " (truncated stream?)");
   }
 
   if (!std::getline(edges, line)) {
@@ -135,10 +149,22 @@ Result<Graph> LoadCsvGraph(std::istream& nodes, std::istream& edges,
     auto from = ids.find(std::string(StripWhitespace(cells[0])));
     auto to = ids.find(std::string(StripWhitespace(cells[1])));
     if (from == ids.end() || to == ids.end()) {
+      std::string_view missing =
+          from == ids.end() ? StripWhitespace(cells[0]) : StripWhitespace(cells[1]);
       return Status::InvalidArgument("edge line " + std::to_string(line_no) +
-                                     ": unknown endpoint id");
+                                     ": unknown endpoint id '" +
+                                     std::string(missing) + "'");
     }
-    builder.AddEdge(from->second, to->second, StripWhitespace(cells[2]));
+    std::string_view label = StripWhitespace(cells[2]);
+    if (label.empty()) {
+      return Status::InvalidArgument("edge line " + std::to_string(line_no) +
+                                     ": empty edge label");
+    }
+    builder.AddEdge(from->second, to->second, label);
+  }
+  if (edges.bad()) {
+    return Status::IoError("edge CSV read failed after line " +
+                           std::to_string(line_no) + " (truncated stream?)");
   }
 
   if (id_map != nullptr) *id_map = std::move(ids);

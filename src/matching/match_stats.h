@@ -18,6 +18,10 @@ struct MatchStats {
   /// (each replaces a sorted-set binary search).
   uint64_t bitset_probes = 0;
 
+  /// Bounded matches that tripped the RunContext (deadline/cancel) or the
+  /// per-match step budget; their partial match sets were discarded.
+  uint64_t aborted_matches = 0;
+
   void Reset() { *this = MatchStats(); }
 };
 

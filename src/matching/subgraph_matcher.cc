@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 
 namespace fairsqg {
@@ -80,7 +81,8 @@ bool InSortedSet(const NodeSet& set, NodeId v) {
 
 bool SubgraphMatcher::ExistsEmbedding(const QueryInstance& /*q*/,
                                       const CandidateSpace& candidates,
-                                      const Plan& plan, NodeId v) {
+                                      const Plan& plan, NodeId v,
+                                      SearchBudget* budget) {
   const size_t n = plan.order.size();
   std::vector<NodeId> assignment(n, kInvalidNode);
   assignment[0] = v;
@@ -89,6 +91,8 @@ bool SubgraphMatcher::ExistsEmbedding(const QueryInstance& /*q*/,
   auto extend = [&](auto&& self, size_t pos) -> bool {
     if (pos == n) return true;
     ++stats_.backtrack_steps;
+    FAIRSQG_FAULT_POINT("matcher.step");
+    if (budget->Tick()) return false;
     QNodeId u = plan.order[pos];
     const auto& constraints = plan.constraints[pos];
     FAIRSQG_DCHECK(!constraints.empty());
@@ -140,6 +144,7 @@ bool SubgraphMatcher::ExistsEmbedding(const QueryInstance& /*q*/,
       if (!ok) continue;
       assignment[pos] = w;
       if (self(self, pos + 1)) return true;
+      if (budget->aborted) return false;  // Unwind without trying siblings.
       assignment[pos] = kInvalidNode;
     }
     return false;
@@ -157,10 +162,35 @@ NodeSet SubgraphMatcher::MatchNode(const QueryInstance& q,
                                    const CandidateSpace& candidates,
                                    QNodeId anchor,
                                    const NodeSet* output_restrict) {
+  return MatchNodeBounded(q, candidates, anchor, /*ctx=*/nullptr,
+                          output_restrict)
+      .matches;
+}
+
+MatchResult SubgraphMatcher::MatchOutputBounded(const QueryInstance& q,
+                                                const CandidateSpace& candidates,
+                                                RunContext* ctx,
+                                                const NodeSet* output_restrict) {
+  return MatchNodeBounded(q, candidates, q.output_node(), ctx, output_restrict);
+}
+
+MatchResult SubgraphMatcher::MatchNodeBounded(const QueryInstance& q,
+                                              const CandidateSpace& candidates,
+                                              QNodeId anchor, RunContext* ctx,
+                                              const NodeSet* output_restrict) {
   ++stats_.instances_matched;
-  NodeSet result;
+  MatchResult result;
   if (!q.is_active(anchor)) return result;  // Unconstrained by the instance.
   if (candidates.HasEmptyActive(q)) return result;
+
+  SearchBudget budget;
+  budget.ctx = ctx;
+  budget.limit = ctx != nullptr ? ctx->match_step_limit() : 0;
+  if (ctx != nullptr && ctx->HardExpired()) {
+    ++stats_.aborted_matches;
+    result.outcome = MatchOutcome::kAborted;
+    return result;
+  }
 
   Plan plan = Plan::Build(q, candidates, anchor);
 
@@ -173,11 +203,24 @@ NodeSet SubgraphMatcher::MatchNode(const QueryInstance& q,
     inner = outer == &base ? output_restrict : &base;
   }
   for (NodeId v : *outer) {
+    if (budget.aborted) break;
     if (inner != nullptr && !InSortedSet(*inner, v)) continue;
     ++stats_.output_candidates_tested;
-    if (plan.order.size() == 1 || ExistsEmbedding(q, candidates, plan, v)) {
-      result.push_back(v);
+    // Trivial (single-node) plans never enter the step loop, so poll the
+    // context here, amortized over the candidate scan.
+    if (ctx != nullptr && (stats_.output_candidates_tested & 255) == 0 &&
+        ctx->HardExpired()) {
+      budget.aborted = true;
+      break;
     }
+    if (plan.order.size() == 1 ||
+        ExistsEmbedding(q, candidates, plan, v, &budget)) {
+      if (!budget.aborted) result.matches.push_back(v);
+    }
+  }
+  if (budget.aborted) {
+    ++stats_.aborted_matches;
+    result.outcome = MatchOutcome::kAborted;
   }
   // `outer` iterations are ascending, so the result is sorted.
   return result;

@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/run_context.h"
 #include "matching/candidate_space.h"
 #include "matching/match_stats.h"
 
@@ -14,6 +15,22 @@ namespace fairsqg {
 /// paper's semantics; embeddings are injective) or graph homomorphism
 /// (query nodes may map to the same data node — cheaper, larger answers).
 enum class MatchSemantics { kIsomorphism, kHomomorphism };
+
+/// How a bounded match invocation ended.
+enum class MatchOutcome {
+  /// The search ran to completion; the match set is exact.
+  kComplete,
+  /// The RunContext expired (token/deadline) or the per-match step budget
+  /// ran out mid-search. The partial match set MUST be discarded — it is
+  /// neither a subset guarantee nor cacheable (DESIGN.md §11).
+  kAborted,
+};
+
+/// Result of a bounded match: the set is meaningful only when kComplete.
+struct MatchResult {
+  NodeSet matches;
+  MatchOutcome outcome = MatchOutcome::kComplete;
+};
 
 /// \brief Subgraph-isomorphism engine computing output-node match sets.
 ///
@@ -50,6 +67,22 @@ class SubgraphMatcher {
   NodeSet MatchNode(const QueryInstance& q, const CandidateSpace& candidates,
                     QNodeId anchor, const NodeSet* output_restrict = nullptr);
 
+  /// \brief Deadline/cancellation-aware MatchOutput: the backtracking loop
+  /// polls `ctx` (hard expiry: token or deadline) and honours its per-match
+  /// step budget, returning MatchOutcome::kAborted instead of running
+  /// unboundedly on a pathological instance. `ctx` may be null (unbounded;
+  /// identical to MatchOutput).
+  MatchResult MatchOutputBounded(const QueryInstance& q,
+                                 const CandidateSpace& candidates,
+                                 RunContext* ctx,
+                                 const NodeSet* output_restrict = nullptr);
+
+  /// Bounded form of MatchNode; see MatchOutputBounded.
+  MatchResult MatchNodeBounded(const QueryInstance& q,
+                               const CandidateSpace& candidates, QNodeId anchor,
+                               RunContext* ctx,
+                               const NodeSet* output_restrict = nullptr);
+
   /// Visitor over full embeddings: `assignment[u]` is the data node bound
   /// to query node u (kInvalidNode for nodes outside u_o's component).
   /// Return false from the visitor to stop the enumeration.
@@ -68,9 +101,33 @@ class SubgraphMatcher {
  private:
   struct Plan;
 
-  /// True if an embedding extending {u_o -> v} exists.
+  /// Per-invocation abort accounting: a step budget (0 = unlimited) plus an
+  /// amortized hard-expiry poll of the RunContext every 256 steps.
+  struct SearchBudget {
+    RunContext* ctx = nullptr;
+    uint64_t limit = 0;
+    uint64_t steps = 0;
+    bool aborted = false;
+
+    /// Counts one backtracking step; true when the search must abort.
+    bool Tick() {
+      ++steps;
+      if (limit != 0 && steps > limit) {
+        aborted = true;
+        return true;
+      }
+      if (ctx != nullptr && (steps & 255) == 0 && ctx->HardExpired()) {
+        aborted = true;
+        return true;
+      }
+      return false;
+    }
+  };
+
+  /// True if an embedding extending {u_o -> v} exists. Sets
+  /// `budget->aborted` (and returns false) when the budget trips.
   bool ExistsEmbedding(const QueryInstance& q, const CandidateSpace& candidates,
-                       const Plan& plan, NodeId v);
+                       const Plan& plan, NodeId v, SearchBudget* budget);
 
   const Graph* g_;
   MatchSemantics semantics_;

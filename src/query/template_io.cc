@@ -132,32 +132,42 @@ Result<QueryTemplate> ReadTemplateText(std::istream& in,
       tmpl.AddNode(tok[2]);
     } else if (tok[0] == "output") {
       if (tok.size() != 2) return fail("output needs a node ref");
-      FAIRSQG_ASSIGN_OR_RETURN(QNodeId u, ParseNodeRef(tok[1], tmpl.num_nodes()));
-      tmpl.SetOutputNode(u);
+      if (saw_output) return fail("duplicate 'output' line");
+      Result<QNodeId> u = ParseNodeRef(tok[1], tmpl.num_nodes());
+      if (!u.ok()) return fail(u.status().message());
+      tmpl.SetOutputNode(*u);
       saw_output = true;
     } else if (tok[0] == "edge" || tok[0] == "vedge") {
       if (tok.size() != 4) return fail("edge needs from, to and label");
-      FAIRSQG_ASSIGN_OR_RETURN(QNodeId from,
-                               ParseNodeRef(tok[1], tmpl.num_nodes()));
-      FAIRSQG_ASSIGN_OR_RETURN(QNodeId to, ParseNodeRef(tok[2], tmpl.num_nodes()));
+      Result<QNodeId> from = ParseNodeRef(tok[1], tmpl.num_nodes());
+      if (!from.ok()) return fail(from.status().message());
+      Result<QNodeId> to = ParseNodeRef(tok[2], tmpl.num_nodes());
+      if (!to.ok()) return fail(to.status().message());
       if (tok[0] == "edge") {
-        tmpl.AddEdge(from, to, tok[3]);
+        tmpl.AddEdge(*from, *to, tok[3]);
       } else {
-        tmpl.AddVariableEdge(from, to, tok[3]);
+        tmpl.AddVariableEdge(*from, *to, tok[3]);
       }
     } else if (tok[0] == "literal") {
       if (tok.size() != 5) return fail("literal needs node, attr, op, value");
-      FAIRSQG_ASSIGN_OR_RETURN(QNodeId u, ParseNodeRef(tok[1], tmpl.num_nodes()));
-      FAIRSQG_ASSIGN_OR_RETURN(CompareOp op, ParseOp(tok[3]));
+      Result<QNodeId> u = ParseNodeRef(tok[1], tmpl.num_nodes());
+      if (!u.ok()) return fail(u.status().message());
+      Result<CompareOp> op = ParseOp(tok[3]);
+      if (!op.ok()) return fail(op.status().message());
       if (tok[4] == "?") {
-        tmpl.AddRangeLiteral(u, tok[2], op);
+        tmpl.AddRangeLiteral(u.ValueOrDie(), tok[2], *op);
       } else {
-        FAIRSQG_ASSIGN_OR_RETURN(AttrValue value, DecodeValue(tok[4]));
-        tmpl.AddLiteral(u, tok[2], op, std::move(value));
+        Result<AttrValue> value = DecodeValue(tok[4]);
+        if (!value.ok()) return fail(value.status().message());
+        tmpl.AddLiteral(*u, tok[2], *op, std::move(*value));
       }
     } else {
       return fail("unknown record '" + std::string(tok[0]) + "'");
     }
+  }
+  if (in.bad()) {
+    return Status::IoError("template read failed after line " +
+                           std::to_string(line_no) + " (truncated stream?)");
   }
   if (!saw_header) return Status::InvalidArgument("missing 'template' header");
   if (!saw_output && tmpl.num_nodes() > 1) {

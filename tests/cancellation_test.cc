@@ -1,0 +1,300 @@
+// Cancellation / deadline / degraded-result coverage (DESIGN.md §11):
+// every generator must stop cleanly when its RunContext expires and hand
+// back a best-so-far archive whose members are all fully verified — a
+// truncated run degrades to "the ε-Pareto set of the verified prefix",
+// never to a corrupted or partially-verified result.
+
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/run_context.h"
+#include "core/bi_qgen.h"
+#include "core/cbm.h"
+#include "core/enum_qgen.h"
+#include "core/enumerate.h"
+#include "core/kungs.h"
+#include "core/match_cache.h"
+#include "core/online_qgen.h"
+#include "core/parallel_qgen.h"
+#include "core/rf_qgen.h"
+#include "scenario_fixture.h"
+
+namespace fairsqg {
+namespace {
+
+struct NamedRunner {
+  const char* name;
+  std::function<Result<QGenResult>(const QGenConfig&)> run;
+};
+
+std::vector<NamedRunner> AllRunners() {
+  return {
+      {"EnumQGen", [](const QGenConfig& c) { return EnumQGen::Run(c); }},
+      {"RfQGen", [](const QGenConfig& c) { return RfQGen::Run(c); }},
+      {"BiQGen", [](const QGenConfig& c) { return BiQGen::Run(c); }},
+      {"BiQGen/parallel",
+       [](const QGenConfig& c) { return BiQGen::RunParallel(c, 4); }},
+      {"ParallelQGen",
+       [](const QGenConfig& c) { return ParallelQGen::Run(c, 4); }},
+      {"Kungs", [](const QGenConfig& c) { return Kungs::Run(c); }},
+      {"Cbm", [](const QGenConfig& c) { return Cbm::Run(c, 6); }},
+  };
+}
+
+/// No archive member may (weakly) Pareto-dominate another: box archiving
+/// keeps at most one representative per box and boxes are mutually
+/// non-dominating, which rules out raw dominance between members too.
+void ExpectParetoValid(const std::vector<EvaluatedPtr>& pareto,
+                       const std::string& label) {
+  for (size_t i = 0; i < pareto.size(); ++i) {
+    for (size_t j = 0; j < pareto.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(Dominates(pareto[i]->obj, pareto[j]->obj))
+          << label << ": member " << i << " dominates member " << j;
+    }
+  }
+}
+
+/// Every member of a (possibly truncated) archive must re-verify to the
+/// exact same match set and coordinates under a fresh unbounded verifier:
+/// cancellation may shrink the archive, never corrupt its entries.
+void ExpectFullyVerified(const std::vector<EvaluatedPtr>& pareto,
+                         const QGenConfig& bounded_config,
+                         const std::string& label) {
+  QGenConfig unbounded = bounded_config;
+  unbounded.run_context = nullptr;
+  unbounded.match_cache = nullptr;
+  InstanceVerifier fresh(unbounded);
+  for (const EvaluatedPtr& m : pareto) {
+    EvaluatedPtr again = fresh.Verify(m->inst);
+    ASSERT_NE(again, nullptr) << label;
+    EXPECT_EQ(again->matches, m->matches) << label;
+    EXPECT_DOUBLE_EQ(again->obj.diversity, m->obj.diversity) << label;
+    EXPECT_DOUBLE_EQ(again->obj.coverage, m->obj.coverage) << label;
+    EXPECT_EQ(again->feasible, m->feasible) << label;
+  }
+}
+
+TEST(CancellationTest, EnumCancelAtNMatchesVerificationBudget) {
+  SmallScenario s;
+  for (size_t n : {1u, 5u, 17u, 40u}) {
+    QGenConfig budget = s.Config(0.05);
+    budget.max_verifications = n;
+    QGenResult expected = EnumQGen::Run(budget).ValueOrDie();
+
+    RunContext ctx;
+    ctx.CancelAfterVerifications(n);
+    QGenConfig cancelled = s.Config(0.05);
+    cancelled.run_context = &ctx;
+    QGenResult got = EnumQGen::Run(cancelled).ValueOrDie();
+
+    // Cancelling after n verifications is exactly the same truncation as a
+    // verification budget of n: bit-identical verified prefix and archive.
+    EXPECT_EQ(got.stats.verified, n) << "n=" << n;
+    EXPECT_EQ(got.stats.verified, expected.stats.verified);
+    EXPECT_TRUE(got.stats.deadline_exceeded);
+    ASSERT_EQ(got.pareto.size(), expected.pareto.size()) << "n=" << n;
+    for (size_t i = 0; i < got.pareto.size(); ++i) {
+      EXPECT_EQ(got.pareto[i]->inst, expected.pareto[i]->inst);
+      EXPECT_DOUBLE_EQ(got.pareto[i]->obj.diversity,
+                       expected.pareto[i]->obj.diversity);
+      EXPECT_DOUBLE_EQ(got.pareto[i]->obj.coverage,
+                       expected.pareto[i]->obj.coverage);
+    }
+  }
+}
+
+TEST(CancellationTest, RandomCancellationPointsYieldValidArchives) {
+  SmallScenario s;
+  // Fixed seed: the cancellation points are arbitrary but reproducible.
+  std::mt19937 rng(20260807);
+  std::uniform_int_distribution<uint64_t> pick(1, 60);
+  for (const NamedRunner& runner : AllRunners()) {
+    for (int round = 0; round < 3; ++round) {
+      uint64_t n = pick(rng);
+      std::string label =
+          std::string(runner.name) + " cancel@" + std::to_string(n);
+      RunContext ctx;
+      ctx.CancelAfterVerifications(n);
+      QGenConfig config = s.Config(0.05);
+      config.run_context = &ctx;
+      Result<QGenResult> r = runner.run(config);
+      ASSERT_TRUE(r.ok()) << label << ": " << r.status().ToString();
+      EXPECT_LE(r->stats.verified, n) << label;
+      if (ctx.Expired()) {
+        EXPECT_TRUE(r->stats.deadline_exceeded) << label;
+      }
+      ExpectParetoValid(r->pareto, label);
+      ExpectFullyVerified(r->pareto, config, label);
+    }
+  }
+}
+
+TEST(CancellationTest, SequentialBiCancelIsDeterministic) {
+  SmallScenario s;
+  QGenResult runs[2];
+  for (QGenResult& out : runs) {
+    RunContext ctx;
+    ctx.CancelAfterVerifications(9);
+    QGenConfig config = s.Config(0.05);
+    config.run_context = &ctx;
+    out = BiQGen::Run(config).ValueOrDie();
+  }
+  ASSERT_EQ(runs[0].pareto.size(), runs[1].pareto.size());
+  for (size_t i = 0; i < runs[0].pareto.size(); ++i) {
+    EXPECT_EQ(runs[0].pareto[i]->inst, runs[1].pareto[i]->inst);
+  }
+  EXPECT_EQ(runs[0].stats.verified, runs[1].stats.verified);
+}
+
+TEST(CancellationTest, ParallelBiCancelIsDeterministic) {
+  SmallScenario s;
+  // The coordinator alone polls the context (one poll per admitted batch
+  // slot), so the set of verified instances is a deterministic prefix of
+  // the batch schedule — two cancelled runs at the same thread count must
+  // be bit-identical, exactly like the uncancelled determinism guarantee.
+  QGenResult runs[2];
+  for (QGenResult& out : runs) {
+    RunContext ctx;
+    ctx.CancelAfterVerifications(12);
+    QGenConfig config = s.Config(0.05);
+    config.run_context = &ctx;
+    out = BiQGen::RunParallel(config, 4).ValueOrDie();
+  }
+  ASSERT_EQ(runs[0].pareto.size(), runs[1].pareto.size());
+  for (size_t i = 0; i < runs[0].pareto.size(); ++i) {
+    EXPECT_EQ(runs[0].pareto[i]->inst, runs[1].pareto[i]->inst);
+    EXPECT_DOUBLE_EQ(runs[0].pareto[i]->obj.diversity,
+                     runs[1].pareto[i]->obj.diversity);
+    EXPECT_DOUBLE_EQ(runs[0].pareto[i]->obj.coverage,
+                     runs[1].pareto[i]->obj.coverage);
+  }
+  EXPECT_EQ(runs[0].stats.verified, runs[1].stats.verified);
+  EXPECT_EQ(runs[0].stats.feasible, runs[1].stats.feasible);
+}
+
+TEST(CancellationTest, ParallelQGenCancelDispatchesExactPrefix) {
+  SmallScenario s;
+  RunContext ctx;
+  ctx.CancelAfterVerifications(10);
+  QGenConfig config = s.Config(0.05);
+  config.run_context = &ctx;
+  QGenResult r = ParallelQGen::Run(config, 4).ValueOrDie();
+  // The dispatcher polls once per instance under the enumeration lock, so
+  // exactly the first 10 enumerated instances are dispatched and verified.
+  EXPECT_EQ(r.stats.verified, 10u);
+  EXPECT_TRUE(r.stats.deadline_exceeded);
+  ExpectFullyVerified(r.pareto, config, "ParallelQGen cancel@10");
+}
+
+TEST(CancellationTest, FailPolicyReturnsDeadlineExceeded) {
+  SmallScenario s;
+  for (const NamedRunner& runner : AllRunners()) {
+    RunContext ctx;
+    ctx.CancelAfterVerifications(3);
+    ctx.set_on_expiry(ExpiryPolicy::kFail);
+    QGenConfig config = s.Config(0.05);
+    config.run_context = &ctx;
+    Result<QGenResult> r = runner.run(config);
+    ASSERT_FALSE(r.ok()) << runner.name;
+    EXPECT_TRUE(r.status().IsDeadlineExceeded())
+        << runner.name << ": " << r.status().ToString();
+  }
+}
+
+TEST(CancellationTest, PreExpiredDeadlineReturnsEmptyPartialResult) {
+  SmallScenario s;
+  RunContext ctx;
+  ctx.SetDeadlineAfterMillis(-1);
+  QGenConfig config = s.Config(0.05);
+  config.run_context = &ctx;
+  for (const NamedRunner& runner : AllRunners()) {
+    Result<QGenResult> r = runner.run(config);
+    ASSERT_TRUE(r.ok()) << runner.name << ": " << r.status().ToString();
+    EXPECT_TRUE(r->stats.deadline_exceeded) << runner.name;
+    EXPECT_EQ(r->stats.verified, 0u) << runner.name;
+    EXPECT_TRUE(r->pareto.empty()) << runner.name;
+  }
+}
+
+TEST(CancellationTest, WallClockDeadlineSmoke) {
+  SmallScenario s;
+  RunContext ctx;
+  ctx.SetDeadlineAfterMillis(1);
+  QGenConfig config = s.Config(0.05);
+  config.run_context = &ctx;
+  Result<QGenResult> r = EnumQGen::Run(config);
+  // Whether or not the run beat the 1ms deadline, the result is valid and
+  // every retained member is fully verified.
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ExpectParetoValid(r->pareto, "deadline smoke");
+  ExpectFullyVerified(r->pareto, config, "deadline smoke");
+}
+
+TEST(CancellationTest, StepLimitAbortsAreCountedAndCacheTransparent) {
+  SmallScenario s;
+  auto run_with_limit = [&](MatchSetCache* cache) {
+    RunContext ctx;
+    ctx.set_match_step_limit(40);
+    QGenConfig config = s.Config(0.05);
+    config.run_context = &ctx;
+    config.match_cache = cache;
+    return EnumQGen::Run(config).ValueOrDie();
+  };
+
+  QGenResult plain = run_with_limit(nullptr);
+  // A 40-step budget is far below what these searches need: aborts happen.
+  EXPECT_GT(plain.stats.timed_out_instances, 0u);
+  EXPECT_GE(plain.stats.aborted_matches, plain.stats.timed_out_instances);
+  // Step-budget aborts do not by themselves end the run.
+  EXPECT_FALSE(plain.stats.deadline_exceeded);
+  ExpectParetoValid(plain.pareto, "step limit, no cache");
+
+  MatchSetCache::Options options;
+  options.capacity_bytes = 8u << 20;
+  auto cache = MatchSetCache::Create(options).ValueOrDie();
+  QGenResult cached = run_with_limit(cache.get());
+
+  // Aborted searches are never inserted into the cache, so the cache stays
+  // transparent even on a degraded run: byte-identical archive and counts.
+  EXPECT_EQ(cached.stats.verified, plain.stats.verified);
+  EXPECT_EQ(cached.stats.feasible, plain.stats.feasible);
+  EXPECT_EQ(cached.stats.timed_out_instances, plain.stats.timed_out_instances);
+  ASSERT_EQ(cached.pareto.size(), plain.pareto.size());
+  for (size_t i = 0; i < plain.pareto.size(); ++i) {
+    EXPECT_EQ(cached.pareto[i]->inst, plain.pareto[i]->inst);
+    EXPECT_EQ(cached.pareto[i]->matches, plain.pareto[i]->matches);
+    EXPECT_DOUBLE_EQ(cached.pareto[i]->obj.diversity,
+                     plain.pareto[i]->obj.diversity);
+    EXPECT_DOUBLE_EQ(cached.pareto[i]->obj.coverage,
+                     plain.pareto[i]->obj.coverage);
+  }
+}
+
+TEST(CancellationTest, OnlineQGenStopsProcessingOnCancel) {
+  SmallScenario s;
+  RunContext ctx;
+  ctx.CancelAfterVerifications(3);
+  QGenConfig config = s.Config(0.05);
+  config.run_context = &ctx;
+  OnlineConfig online;
+  online.k = 5;
+  OnlineQGen qgen(config, online);
+  InstantiationEnumerator en(*s.tmpl, *s.domains);
+  Instantiation inst;
+  for (int i = 0; i < 10 && en.Next(&inst); ++i) {
+    qgen.Process(inst);
+  }
+  EXPECT_LE(qgen.stats().verified, 3u);
+  EXPECT_TRUE(qgen.stats().deadline_exceeded);
+  QGenResult snap = qgen.Snapshot();
+  ExpectParetoValid(snap.pareto, "online cancel@3");
+  ExpectFullyVerified(snap.pareto, config, "online cancel@3");
+}
+
+}  // namespace
+}  // namespace fairsqg

@@ -31,6 +31,36 @@ TEST(MatchSetCacheTest, LookupReturnsInsertedSet) {
   EXPECT_EQ(stats.entries, 1u);
 }
 
+TEST(MatchSetCacheTest, CreateRejectsZeroByteBudget) {
+  MatchSetCache::Options options;
+  options.capacity_bytes = 0;
+  Result<std::unique_ptr<MatchSetCache>> cache = MatchSetCache::Create(options);
+  ASSERT_FALSE(cache.ok());
+  EXPECT_EQ(cache.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(cache.status().message().find("capacity_bytes"), std::string::npos);
+}
+
+TEST(MatchSetCacheTest, CreateRejectsZeroShards) {
+  MatchSetCache::Options options;
+  options.num_shards = 0;
+  Result<std::unique_ptr<MatchSetCache>> cache = MatchSetCache::Create(options);
+  ASSERT_FALSE(cache.ok());
+  EXPECT_EQ(cache.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(cache.status().message().find("num_shards"), std::string::npos);
+}
+
+TEST(MatchSetCacheTest, CreateAcceptsValidOptions) {
+  MatchSetCache::Options options;
+  options.capacity_bytes = 1 << 20;
+  options.num_shards = 3;  // Rounded up to the next power of two.
+  Result<std::unique_ptr<MatchSetCache>> cache = MatchSetCache::Create(options);
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+  EXPECT_EQ((*cache)->num_shards(), 4u);
+  NodeSet out;
+  (*cache)->Insert("k", Nodes({1, 2}));
+  EXPECT_TRUE((*cache)->Lookup("k", &out));
+}
+
 MatchSetCache::Options TinyOptions(size_t capacity_bytes) {
   MatchSetCache::Options options;
   options.capacity_bytes = capacity_bytes;

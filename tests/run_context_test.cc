@@ -1,0 +1,93 @@
+#include "common/run_context.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fairsqg {
+namespace {
+
+TEST(RunContextTest, DefaultIsUnbounded) {
+  RunContext ctx;
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_FALSE(ctx.cancel_requested());
+  EXPECT_FALSE(ctx.HardExpired());
+  EXPECT_FALSE(ctx.Expired());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(ctx.PollVerification());
+  EXPECT_EQ(ctx.polls(), 1000u);
+}
+
+TEST(RunContextTest, CancelTripsHardExpiry) {
+  RunContext ctx;
+  ctx.RequestCancel();
+  EXPECT_TRUE(ctx.cancel_requested());
+  EXPECT_TRUE(ctx.HardExpired());
+  EXPECT_TRUE(ctx.Expired());
+  EXPECT_TRUE(ctx.PollVerification());
+  // A refused poll is not counted.
+  EXPECT_EQ(ctx.polls(), 0u);
+}
+
+TEST(RunContextTest, ExpiredDeadline) {
+  RunContext ctx;
+  ctx.SetDeadlineAfterMillis(-1);
+  EXPECT_TRUE(ctx.has_deadline());
+  EXPECT_TRUE(ctx.HardExpired());
+  ctx.ClearDeadline();
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_FALSE(ctx.HardExpired());
+}
+
+TEST(RunContextTest, FutureDeadlineNotExpired) {
+  RunContext ctx;
+  ctx.SetDeadlineAfterMillis(60000);
+  EXPECT_TRUE(ctx.has_deadline());
+  EXPECT_FALSE(ctx.HardExpired());
+  EXPECT_FALSE(ctx.Expired());
+}
+
+TEST(RunContextTest, PollBudgetAdmitsExactlyN) {
+  RunContext ctx;
+  ctx.CancelAfterVerifications(5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(ctx.PollVerification()) << "poll " << i;
+  }
+  // The 6th is refused, and refusal is sticky.
+  EXPECT_TRUE(ctx.PollVerification());
+  EXPECT_TRUE(ctx.PollVerification());
+  EXPECT_EQ(ctx.polls(), 5u);
+  // Budget exhaustion is soft: scheduling stops, in-flight matches don't.
+  EXPECT_TRUE(ctx.Expired());
+  EXPECT_FALSE(ctx.HardExpired());
+}
+
+TEST(RunContextTest, PollBudgetIsExactUnderContention) {
+  RunContext ctx;
+  constexpr uint64_t kLimit = 1000;
+  ctx.CancelAfterVerifications(kLimit);
+  std::atomic<uint64_t> admitted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (!ctx.PollVerification()) admitted.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(admitted.load(), kLimit);
+}
+
+TEST(RunContextTest, StepLimitAndPolicyAccessors) {
+  RunContext ctx;
+  EXPECT_EQ(ctx.match_step_limit(), 0u);
+  ctx.set_match_step_limit(128);
+  EXPECT_EQ(ctx.match_step_limit(), 128u);
+  EXPECT_EQ(ctx.on_expiry(), ExpiryPolicy::kPartial);
+  ctx.set_on_expiry(ExpiryPolicy::kFail);
+  EXPECT_EQ(ctx.on_expiry(), ExpiryPolicy::kFail);
+}
+
+}  // namespace
+}  // namespace fairsqg

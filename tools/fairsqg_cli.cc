@@ -143,6 +143,13 @@ int CmdGenerate(int argc, char** argv) {
                     "match-set cache budget in MiB (0 disables the cache)");
   flags.DefineInt64("match-cache-shards", 16,
                     "lock shards of the match-set cache");
+  flags.DefineInt64("deadline-ms", 0,
+                    "wall-clock budget in milliseconds (0 = unlimited)");
+  flags.DefineInt64("match-step-limit", 0,
+                    "backtracking steps allowed per match (0 = unlimited)");
+  flags.DefineString("on-deadline", "partial",
+                     "deadline behaviour: partial (best-so-far archive) | "
+                     "fail (non-zero exit)");
   if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
 
   Result<Graph> g = ReadGraphFile(flags.GetString("graph"));
@@ -182,8 +189,34 @@ int CmdGenerate(int argc, char** argv) {
         static_cast<size_t>(flags.GetInt64("match-cache-mb")) << 20;
     cache_options.num_shards =
         static_cast<size_t>(flags.GetInt64("match-cache-shards"));
-    cache = std::make_unique<MatchSetCache>(cache_options);
+    Result<std::unique_ptr<MatchSetCache>> made =
+        MatchSetCache::Create(cache_options);
+    if (!made.ok()) return Fail(made.status());
+    cache = std::move(*made);
     config.match_cache = cache.get();
+  }
+
+  RunContext run_context;
+  if (flags.GetInt64("deadline-ms") > 0 ||
+      flags.GetInt64("match-step-limit") > 0) {
+    if (flags.GetInt64("deadline-ms") > 0) {
+      run_context.SetDeadlineAfterMillis(
+          static_cast<double>(flags.GetInt64("deadline-ms")));
+    }
+    if (flags.GetInt64("match-step-limit") > 0) {
+      run_context.set_match_step_limit(
+          static_cast<uint64_t>(flags.GetInt64("match-step-limit")));
+    }
+    const std::string& on_deadline = flags.GetString("on-deadline");
+    if (on_deadline == "partial") {
+      run_context.set_on_expiry(ExpiryPolicy::kPartial);
+    } else if (on_deadline == "fail") {
+      run_context.set_on_expiry(ExpiryPolicy::kFail);
+    } else {
+      return Fail(Status::InvalidArgument("unknown --on-deadline '" +
+                                          on_deadline + "' (partial | fail)"));
+    }
+    config.run_context = &run_context;
   }
 
   const std::string& algo = flags.GetString("algorithm");
@@ -206,6 +239,17 @@ int CmdGenerate(int argc, char** argv) {
   std::printf("%s: %zu suggested queries (%zu verified, %.2fs)\n", algo.c_str(),
               result->pareto.size(), result->stats.verified,
               result->stats.total_seconds);
+  if (result->stats.deadline_exceeded || result->stats.aborted_matches > 0 ||
+      result->stats.timed_out_instances > 0) {
+    std::fprintf(stderr,
+                 "degraded run: deadline_exceeded=%s aborted_matches=%zu "
+                 "timed_out_instances=%zu (archive is the verified-prefix "
+                 "epsilon-Pareto set; every retained instance is fully "
+                 "verified)\n",
+                 result->stats.deadline_exceeded ? "true" : "false",
+                 result->stats.aborted_matches,
+                 result->stats.timed_out_instances);
+  }
   if (cache != nullptr) {
     MatchSetCache::CacheStats cs = cache->GetStats();
     std::printf("match cache: %zu hits, %zu misses, %zu entries (%.1f MiB)\n",
