@@ -117,29 +117,40 @@ struct Row {
   std::string dataset;
   size_t nodes = 0;
   size_t edges = 0;
-  BuildTiming build;
-  EndToEnd e2e;
+  BuildTiming build;   // Median across --repeat runs.
+  EndToEnd e2e;        // Median across --repeat runs.
+  double scan_ms_min = 0, index_ms_min = 0;
+  double baseline_s_min = 0, optimized_s_min = 0, warm_s_min = 0;
 };
 
-void WriteJson(const std::vector<Row>& rows, const std::string& path) {
+void WriteJson(const std::vector<Row>& rows, int repeat,
+               const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   FAIRSQG_CHECK(f != nullptr) << "cannot write " << path;
   std::fprintf(f, "{\n  \"bench\": \"candidate_index\",\n");
+  std::fprintf(f, "  \"schema_version\": %d,\n", kBenchSchemaVersion);
   std::fprintf(f, "  \"scale\": %g,\n", BenchScale());
-  std::fprintf(f, "  \"reps\": %d,\n  \"datasets\": [\n", kReps);
+  std::fprintf(f, "  \"reps\": %d,\n  \"repeat\": %d,\n  \"datasets\": [\n",
+               kReps, repeat);
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"nodes\": %zu, \"edges\": %zu,\n"
                  "     \"candidate_build\": {\"instances\": %zu, "
-                 "\"scan_ms\": %.3f, \"index_ms\": %.3f, \"speedup\": %.2f},\n"
+                 "\"scan_ms\": %.3f, \"index_ms\": %.3f, "
+                 "\"scan_ms_min\": %.3f, \"index_ms_min\": %.3f, "
+                 "\"speedup\": %.2f},\n"
                  "     \"biqgen\": {\"baseline_s\": %.3f, \"optimized_s\": "
-                 "%.3f, \"warm_s\": %.3f, \"speedup\": %.2f, "
+                 "%.3f, \"warm_s\": %.3f, \"baseline_s_min\": %.3f, "
+                 "\"optimized_s_min\": %.3f, \"warm_s_min\": %.3f, "
+                 "\"speedup\": %.2f, "
                  "\"warm_speedup\": %.2f, \"cache_hits\": %zu, "
                  "\"cache_misses\": %zu}}%s\n",
                  r.dataset.c_str(), r.nodes, r.edges, r.build.instances,
-                 r.build.scan_ms, r.build.index_ms, r.build.speedup,
+                 r.build.scan_ms, r.build.index_ms, r.scan_ms_min,
+                 r.index_ms_min, r.build.speedup,
                  r.e2e.baseline_s, r.e2e.optimized_s, r.e2e.warm_s,
+                 r.baseline_s_min, r.optimized_s_min, r.warm_s_min,
                  r.e2e.speedup, r.e2e.warm_speedup, r.e2e.cache_hits,
                  r.e2e.cache_misses,
                  i + 1 < rows.size() ? "," : "");
@@ -149,10 +160,11 @@ void WriteJson(const std::vector<Row>& rows, const std::string& path) {
   std::printf("wrote %s\n", path.c_str());
 }
 
-void Run() {
+void Run(int repeat) {
   PrintFigureHeader(
       "candidate-index", "attribute range indexes + bitmap candidate filtering",
-      "candidate construction per instance sample; Bi-QGen end to end");
+      "candidate construction per instance sample; Bi-QGen end to end; "
+      "median of " + std::to_string(repeat) + " run(s)");
   Table table({"dataset", "nodes", "insts", "scan ms", "index ms", "build x",
                "biqgen base s", "biqgen opt s", "warm s", "cold x", "warm x",
                "hits", "misses"});
@@ -164,8 +176,36 @@ void Run() {
     row.dataset = dataset;
     row.nodes = s->dataset.graph.num_nodes();
     row.edges = s->dataset.graph.num_edges();
-    row.build = BenchCandidateBuild(*s);
-    row.e2e = BenchBiQGen(*s);
+    std::vector<double> scan_ms, index_ms, base_s, opt_s, warm_s;
+    for (int rep = 0; rep < repeat; ++rep) {
+      BuildTiming b = BenchCandidateBuild(*s);
+      EndToEnd e = BenchBiQGen(*s);
+      if (rep == 0) {
+        row.build = b;
+        row.e2e = e;
+      }
+      scan_ms.push_back(b.scan_ms);
+      index_ms.push_back(b.index_ms);
+      base_s.push_back(e.baseline_s);
+      opt_s.push_back(e.optimized_s);
+      warm_s.push_back(e.warm_s);
+    }
+    row.build.scan_ms = Median(scan_ms);
+    row.build.index_ms = Median(index_ms);
+    row.build.speedup =
+        row.build.index_ms > 0 ? row.build.scan_ms / row.build.index_ms : 0;
+    row.scan_ms_min = MinOf(scan_ms);
+    row.index_ms_min = MinOf(index_ms);
+    row.e2e.baseline_s = Median(base_s);
+    row.e2e.optimized_s = Median(opt_s);
+    row.e2e.warm_s = Median(warm_s);
+    row.e2e.speedup =
+        row.e2e.optimized_s > 0 ? row.e2e.baseline_s / row.e2e.optimized_s : 0;
+    row.e2e.warm_speedup =
+        row.e2e.warm_s > 0 ? row.e2e.baseline_s / row.e2e.warm_s : 0;
+    row.baseline_s_min = MinOf(base_s);
+    row.optimized_s_min = MinOf(opt_s);
+    row.warm_s_min = MinOf(warm_s);
     table.AddRow({dataset, std::to_string(row.nodes),
                   std::to_string(row.build.instances), Fmt(row.build.scan_ms, 2),
                   Fmt(row.build.index_ms, 2), Fmt(row.build.speedup, 2),
@@ -177,13 +217,13 @@ void Run() {
     rows.push_back(std::move(row));
   }
   table.Print();
-  WriteJson(rows, "BENCH_candidate_index.json");
+  WriteJson(rows, repeat, "BENCH_candidate_index.json");
 }
 
 }  // namespace
 }  // namespace fairsqg::bench
 
-int main() {
-  fairsqg::bench::Run();
+int main(int argc, char** argv) {
+  fairsqg::bench::Run(fairsqg::bench::ParseRepeat(argc, argv));
   return 0;
 }

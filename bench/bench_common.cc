@@ -1,5 +1,6 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -7,6 +8,35 @@
 #include "common/timer.h"
 
 namespace fairsqg::bench {
+
+int ParseRepeat(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--repeat" && i + 1 < argc) {
+      int n = std::atoi(argv[i + 1]);
+      if (n > 0) return n;
+    }
+    const std::string prefix = "--repeat=";
+    if (arg.rfind(prefix, 0) == 0) {
+      int n = std::atoi(arg.c_str() + prefix.size());
+      if (n > 0) return n;
+    }
+  }
+  return 1;
+}
+
+double Median(std::vector<double> samples) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  size_t mid = samples.size() / 2;
+  if (samples.size() % 2 == 1) return samples[mid];
+  return 0.5 * (samples[mid - 1] + samples[mid]);
+}
+
+double MinOf(const std::vector<double>& samples) {
+  if (samples.empty()) return 0;
+  return *std::min_element(samples.begin(), samples.end());
+}
 
 Result<Truth> ComputeTruth(const QGenConfig& config) {
   Truth truth;

@@ -13,6 +13,24 @@
 
 namespace fairsqg::bench {
 
+/// Version stamped as "schema_version" into every BENCH_*.json this
+/// harness emits; bump whenever a field name or its semantics change so
+/// downstream consumers (tools/check_bench_regression.py, dashboards) can
+/// refuse to compare incompatible files.
+constexpr int kBenchSchemaVersion = 2;
+
+/// Parses `--repeat N` from the benchmark's argv (default 1). Benchmarks
+/// rerun each timed section N times and report the median (typical run)
+/// and min (noise floor) of the samples.
+int ParseRepeat(int argc, char** argv);
+
+/// Median of `samples` — the average of the middle two for even counts;
+/// 0 when empty.
+double Median(std::vector<double> samples);
+
+/// Minimum of `samples`; 0 when empty.
+double MinOf(const std::vector<double>& samples);
+
 /// Ground truth of one configuration: the fully verified instance space,
 /// its feasible subset, the exact Pareto set, and the objective maxima used
 /// to normalize indicators.

@@ -305,7 +305,7 @@ struct BiExplorer : ExplorerState {
     result->stats.SetSequentialVerifySeconds(verifier.verify_seconds());
     result->stats.cache_hits = verifier.cache_hits();
     result->stats.cache_misses = verifier.cache_misses();
-    FoldDegradedStats(verifier, &result->stats);
+    FoldVerifierStats(verifier, &result->stats);
   }
 };
 
@@ -495,7 +495,7 @@ struct ParallelBiExplorer : ExplorerState {
           std::max(result->stats.verify_wall_seconds, seconds);
       result->stats.cache_hits += v->cache_hits();
       result->stats.cache_misses += v->cache_misses();
-      FoldDegradedStats(*v, &result->stats);
+      FoldVerifierStats(*v, &result->stats);
     }
     result->stats.stolen = pool.stats().stolen;
   }
@@ -527,7 +527,15 @@ Result<QGenResult> BiQGen::RunParallel(const QGenConfig& config,
   FAIRSQG_RETURN_NOT_OK(config.Validate());
   Timer timer;
   QGenResult result;
-  ParallelBiExplorer explorer(config, &result, num_threads);
+  // Build the diversity precompute once and share it read-only across the
+  // per-worker verifiers instead of redoing it per verifier.
+  QGenConfig cfg = config;
+  if (cfg.diversity_index == nullptr) {
+    cfg.diversity_index = DiversityEvaluator::BuildIndex(
+        *cfg.graph, cfg.tmpl->node_label(cfg.tmpl->output_node()),
+        cfg.diversity.relevance);
+  }
+  ParallelBiExplorer explorer(cfg, &result, num_threads);
   explorer.Run();
   if (config.run_context != nullptr && config.run_context->Expired()) {
     result.stats.deadline_exceeded = true;

@@ -2,6 +2,7 @@
 #define FAIRSQG_CORE_CONFIG_H_
 
 #include <cstddef>
+#include <memory>
 
 #include "common/run_context.h"
 #include "common/status.h"
@@ -50,6 +51,21 @@ struct QGenConfig {
   /// label bitsets (index slicing / bitmap filtering) instead of per-node
   /// literal scans. Off reproduces the reference scan path bit for bit.
   bool use_candidate_index = true;
+
+  /// Literal-sweep batch verification (DESIGN.md §12): verify a whole chain
+  /// of instances differing only in one range variable's bound in one
+  /// witness-annotated matcher pass, amortizing q(G) across the chain.
+  /// Archives are byte-identical on or off. Automatically disabled while a
+  /// per-match step budget (RunContext::match_step_limit) is active.
+  bool use_sweep_verify = false;
+
+  /// Optional shared diversity precompute (node fingerprints, categorical
+  /// edit-distance matrices, per-node relevance) reused read-only across
+  /// verifiers. Must have been built by DiversityEvaluator::BuildIndex for
+  /// this graph, the template's output label, and diversity.relevance.
+  /// Null makes each verifier build its own; parallel generators fill this
+  /// in once per run when unset.
+  std::shared_ptr<const DiversityEvaluator::Index> diversity_index;
 
   /// Optional shared match-set cache consulted before every matcher
   /// invocation (non-owning; may be shared by parallel workers). The cache

@@ -43,7 +43,7 @@ Result<QGenResult> EnumQGen::Run(const QGenConfig& config) {
   result.stats.SetSequentialVerifySeconds(verifier.verify_seconds());
   result.stats.cache_hits = verifier.cache_hits();
   result.stats.cache_misses = verifier.cache_misses();
-  FoldDegradedStats(verifier, &result.stats);
+  FoldVerifierStats(verifier, &result.stats);
   result.stats.total_seconds = timer.ElapsedSeconds();
   FAIRSQG_RETURN_NOT_OK(ApplyExpiryPolicy(config, result.stats));
   return result;

@@ -88,15 +88,18 @@ Result<std::vector<EvaluatedPtr>> VerifyAllInstances(const QGenConfig& config,
   if (stats != nullptr) {
     if (ctx != nullptr && ctx->Expired()) stats->deadline_exceeded = true;
     stats->total_seconds += timer.ElapsedSeconds();
-    FoldDegradedStats(*verifier, stats);
+    FoldVerifierStats(*verifier, stats);
     FAIRSQG_RETURN_NOT_OK(ApplyExpiryPolicy(config, *stats));
   }
   return all;
 }
 
-void FoldDegradedStats(const InstanceVerifier& verifier, GenStats* stats) {
+void FoldVerifierStats(const InstanceVerifier& verifier, GenStats* stats) {
   stats->aborted_matches += verifier.aborted_matches();
   stats->timed_out_instances += verifier.timed_out_instances();
+  stats->sweep_chains += verifier.sweep_chains();
+  stats->sweep_instances += verifier.sweep_instances();
+  stats->sweep_fallbacks += verifier.sweep_fallbacks();
 }
 
 Status ApplyExpiryPolicy(const QGenConfig& config, const GenStats& stats) {

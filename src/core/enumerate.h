@@ -51,9 +51,10 @@ Result<std::vector<EvaluatedPtr>> VerifyAllInstances(const QGenConfig& config,
 std::vector<EvaluatedPtr> FeasibleOnly(const std::vector<EvaluatedPtr>& all);
 
 /// Adds a verifier's degraded-run counters (aborted matcher searches,
-/// instances dropped on abort) into `stats`. Every generator calls this
+/// instances dropped on abort) and literal-sweep counters (chains swept,
+/// members derived, fallbacks) into `stats`. Every generator calls this
 /// once per verifier before returning.
-void FoldDegradedStats(const InstanceVerifier& verifier, GenStats* stats);
+void FoldVerifierStats(const InstanceVerifier& verifier, GenStats* stats);
 
 /// Maps a truncated run onto the configured expiry policy: OK under
 /// ExpiryPolicy::kPartial (caller returns the best-so-far archive),

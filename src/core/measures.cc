@@ -9,13 +9,16 @@
 
 namespace fairsqg {
 
-DiversityEvaluator::DiversityEvaluator(const Graph& g, LabelId output_label,
-                                       DiversityConfig config)
-    : g_(&g), label_(output_label), config_(std::move(config)) {
-  const NodeSet& nodes = g.NodesWithLabel(label_);
-  label_size_ = nodes.size();
+std::shared_ptr<const DiversityEvaluator::Index> DiversityEvaluator::BuildIndex(
+    const Graph& g, LabelId output_label, const RelevanceFn& relevance) {
+  auto index = std::make_shared<Index>();
+  Index& idx = *index;
+  idx.label = output_label;
+  const NodeSet& nodes = g.NodesWithLabel(output_label);
+  idx.label_size = nodes.size();
   for (NodeId v : nodes) {
-    max_label_degree_ = std::max(max_label_degree_, static_cast<double>(g.degree(v)));
+    idx.max_label_degree =
+        std::max(idx.max_label_degree, static_cast<double>(g.degree(v)));
   }
 
   // Attribute universe of the label.
@@ -23,24 +26,27 @@ DiversityEvaluator::DiversityEvaluator(const Graph& g, LabelId output_label,
   for (NodeId v : nodes) {
     for (const AttrEntry& e : g.attrs(v)) attr_set.insert(e.attr);
   }
-  attrs_.assign(attr_set.begin(), attr_set.end());
-  attr_range_.assign(attrs_.size(), 0.0);
-  attr_values_.resize(attrs_.size());
+  idx.attrs.assign(attr_set.begin(), attr_set.end());
+  idx.attr_range.assign(idx.attrs.size(), 0.0);
+  idx.attr_values.resize(idx.attrs.size());
 
   // Interned categorical values and numeric ranges per attribute.
-  std::vector<std::map<std::string, int32_t>> value_ids(attrs_.size());
-  std::vector<double> min_v(attrs_.size(), std::numeric_limits<double>::infinity());
-  std::vector<double> max_v(attrs_.size(), -std::numeric_limits<double>::infinity());
+  std::vector<std::map<std::string, int32_t>> value_ids(idx.attrs.size());
+  std::vector<double> min_v(idx.attrs.size(),
+                            std::numeric_limits<double>::infinity());
+  std::vector<double> max_v(idx.attrs.size(),
+                            -std::numeric_limits<double>::infinity());
 
-  node_slot_.assign(g.num_nodes(), -1);
-  fingerprints_.reserve(nodes.size());
+  idx.node_slot.assign(g.num_nodes(), -1);
+  idx.fingerprints.reserve(nodes.size());
   for (NodeId v : nodes) {
-    Fingerprint fp;
-    fp.numeric.assign(attrs_.size(), std::numeric_limits<double>::quiet_NaN());
-    fp.categorical.assign(attrs_.size(), -1);
-    fp.present.assign(attrs_.size(), false);
-    for (size_t i = 0; i < attrs_.size(); ++i) {
-      const AttrValue* value = g.GetAttr(v, attrs_[i]);
+    Index::Fingerprint fp;
+    fp.numeric.assign(idx.attrs.size(),
+                      std::numeric_limits<double>::quiet_NaN());
+    fp.categorical.assign(idx.attrs.size(), -1);
+    fp.present.assign(idx.attrs.size(), false);
+    for (size_t i = 0; i < idx.attrs.size(); ++i) {
+      const AttrValue* value = g.GetAttr(v, idx.attrs[i]);
       if (value == nullptr) continue;
       fp.present[i] = true;
       if (value->is_numeric()) {
@@ -50,58 +56,73 @@ DiversityEvaluator::DiversityEvaluator(const Graph& g, LabelId output_label,
         max_v[i] = std::max(max_v[i], d);
       } else {
         auto [it, inserted] = value_ids[i].emplace(
-            value->as_string(), static_cast<int32_t>(attr_values_[i].size()));
-        if (inserted) attr_values_[i].push_back(value->as_string());
+            value->as_string(),
+            static_cast<int32_t>(idx.attr_values[i].size()));
+        if (inserted) idx.attr_values[i].push_back(value->as_string());
         fp.categorical[i] = it->second;
       }
     }
-    node_slot_[v] = static_cast<int32_t>(fingerprints_.size());
-    fingerprints_.push_back(std::move(fp));
+    idx.node_slot[v] = static_cast<int32_t>(idx.fingerprints.size());
+    idx.fingerprints.push_back(std::move(fp));
   }
-  for (size_t i = 0; i < attrs_.size(); ++i) {
-    if (max_v[i] > min_v[i]) attr_range_[i] = max_v[i] - min_v[i];
+  for (size_t i = 0; i < idx.attrs.size(); ++i) {
+    if (max_v[i] > min_v[i]) idx.attr_range[i] = max_v[i] - min_v[i];
   }
 
   // Dense normalized-edit-distance matrices per categorical attribute:
   // active domains of categorical attributes are small, so the O(k^2)
   // precomputation removes all string work from the pairwise hot loop.
-  string_dist_.resize(attrs_.size());
-  for (size_t i = 0; i < attrs_.size(); ++i) {
-    size_t k = attr_values_[i].size();
+  idx.string_dist.resize(idx.attrs.size());
+  for (size_t i = 0; i < idx.attrs.size(); ++i) {
+    size_t k = idx.attr_values[i].size();
     if (k == 0) continue;
-    string_dist_[i].assign(k * k, 0.0);
+    idx.string_dist[i].assign(k * k, 0.0);
     for (size_t a = 0; a < k; ++a) {
       for (size_t b = a + 1; b < k; ++b) {
-        double d = NormalizedEditDistance(attr_values_[i][a], attr_values_[i][b]);
-        string_dist_[i][a * k + b] = d;
-        string_dist_[i][b * k + a] = d;
+        double d =
+            NormalizedEditDistance(idx.attr_values[i][a], idx.attr_values[i][b]);
+        idx.string_dist[i][a * k + b] = d;
+        idx.string_dist[i][b * k + a] = d;
       }
     }
   }
 
   // Precompute relevance per slot (degree centrality or the custom fn).
-  relevance_.resize(fingerprints_.size());
+  idx.relevance.resize(idx.fingerprints.size());
   for (NodeId v : nodes) {
     double r;
-    if (config_.relevance) {
-      r = config_.relevance(g, v);
+    if (relevance) {
+      r = relevance(g, v);
     } else {
-      r = max_label_degree_ > 0
-              ? static_cast<double>(g.degree(v)) / max_label_degree_
+      r = idx.max_label_degree > 0
+              ? static_cast<double>(g.degree(v)) / idx.max_label_degree
               : 0.0;
     }
-    relevance_[node_slot_[v]] = r;
+    idx.relevance[idx.node_slot[v]] = r;
   }
+  return index;
+}
+
+DiversityEvaluator::DiversityEvaluator(const Graph& g, LabelId output_label,
+                                       DiversityConfig config)
+    : index_(BuildIndex(g, output_label, config.relevance)),
+      config_(std::move(config)) {}
+
+DiversityEvaluator::DiversityEvaluator(std::shared_ptr<const Index> index,
+                                       DiversityConfig config)
+    : index_(std::move(index)), config_(std::move(config)) {
+  FAIRSQG_CHECK(index_ != nullptr) << "shared diversity index must be built";
 }
 
 double DiversityEvaluator::Relevance(NodeId v) const {
-  int32_t slot = node_slot_[v];
+  int32_t slot = index_->node_slot[v];
   FAIRSQG_CHECK(slot >= 0) << "Relevance on non-output-label node";
-  return relevance_[slot];
+  return index_->relevance[slot];
 }
 
-double DiversityEvaluator::AttrDistance(size_t attr_idx, const Fingerprint& a,
-                                        const Fingerprint& b) const {
+double DiversityEvaluator::AttrDistance(size_t attr_idx,
+                                        const Index::Fingerprint& a,
+                                        const Index::Fingerprint& b) const {
   bool pa = a.present[attr_idx];
   bool pb = b.present[attr_idx];
   if (!pa && !pb) return 0.0;
@@ -110,48 +131,48 @@ double DiversityEvaluator::AttrDistance(size_t attr_idx, const Fingerprint& a,
   bool num_b = !std::isnan(b.numeric[attr_idx]);
   if (num_a != num_b) return 1.0;  // Type mismatch.
   if (num_a) {
-    if (attr_range_[attr_idx] <= 0) return 0.0;
+    if (index_->attr_range[attr_idx] <= 0) return 0.0;
     return std::abs(a.numeric[attr_idx] - b.numeric[attr_idx]) /
-           attr_range_[attr_idx];
+           index_->attr_range[attr_idx];
   }
   int32_t ia = a.categorical[attr_idx];
   int32_t ib = b.categorical[attr_idx];
   if (ia == ib) return 0.0;
-  size_t k = attr_values_[attr_idx].size();
-  return string_dist_[attr_idx][static_cast<size_t>(ia) * k +
-                                static_cast<size_t>(ib)];
+  size_t k = index_->attr_values[attr_idx].size();
+  return index_->string_dist[attr_idx][static_cast<size_t>(ia) * k +
+                                       static_cast<size_t>(ib)];
 }
 
 double DiversityEvaluator::Distance(NodeId a, NodeId b) const {
-  if (attrs_.empty()) return 0.0;
-  int32_t sa = node_slot_[a];
-  int32_t sb = node_slot_[b];
+  if (index_->attrs.empty()) return 0.0;
+  int32_t sa = index_->node_slot[a];
+  int32_t sb = index_->node_slot[b];
   FAIRSQG_CHECK(sa >= 0 && sb >= 0) << "Distance on non-output-label node";
-  const Fingerprint& fa = fingerprints_[sa];
-  const Fingerprint& fb = fingerprints_[sb];
+  const Index::Fingerprint& fa = index_->fingerprints[sa];
+  const Index::Fingerprint& fb = index_->fingerprints[sb];
   double total = 0;
-  for (size_t i = 0; i < attrs_.size(); ++i) total += AttrDistance(i, fa, fb);
-  return total / static_cast<double>(attrs_.size());
+  for (size_t i = 0; i < index_->attrs.size(); ++i) total += AttrDistance(i, fa, fb);
+  return total / static_cast<double>(index_->attrs.size());
 }
 
 DiversityEvaluator::Parts DiversityEvaluator::ComputeParts(
     const NodeSet& matches) const {
   Parts parts;
   // Resolve fingerprint slots once.
-  std::vector<const Fingerprint*> fps;
+  std::vector<const Index::Fingerprint*> fps;
   fps.reserve(matches.size());
   for (NodeId v : matches) {
-    int32_t slot = node_slot_[v];
+    int32_t slot = index_->node_slot[v];
     FAIRSQG_CHECK(slot >= 0) << "match is not an output-label node";
-    parts.relevance_sum += relevance_[slot];
-    fps.push_back(&fingerprints_[slot]);
+    parts.relevance_sum += index_->relevance[slot];
+    fps.push_back(&index_->fingerprints[slot]);
   }
-  if (config_.lambda > 0 && !attrs_.empty()) {
-    const size_t na = attrs_.size();
+  if (config_.lambda > 0 && !index_->attrs.empty()) {
+    const size_t na = index_->attrs.size();
     for (size_t i = 0; i < fps.size(); ++i) {
-      const Fingerprint& fa = *fps[i];
+      const Index::Fingerprint& fa = *fps[i];
       for (size_t j = i + 1; j < fps.size(); ++j) {
-        const Fingerprint& fb = *fps[j];
+        const Index::Fingerprint& fb = *fps[j];
         double total = 0;
         for (size_t a = 0; a < na; ++a) total += AttrDistance(a, fa, fb);
         parts.pair_sum += total / static_cast<double>(na);
@@ -163,8 +184,9 @@ DiversityEvaluator::Parts DiversityEvaluator::ComputeParts(
 
 double DiversityEvaluator::Combine(const Parts& parts) const {
   double pair_scale =
-      label_size_ > 1 ? 2.0 * config_.lambda / static_cast<double>(label_size_ - 1)
-                      : 0.0;
+      index_->label_size > 1
+          ? 2.0 * config_.lambda / static_cast<double>(index_->label_size - 1)
+          : 0.0;
   return (1.0 - config_.lambda) * parts.relevance_sum +
          pair_scale * parts.pair_sum;
 }
@@ -187,18 +209,18 @@ DiversityEvaluator::Parts DiversityEvaluator::RefineParts(
     return ComputeParts(child_matches);
   }
   Parts parts = parent;
-  const size_t na = attrs_.size();
+  const size_t na = index_->attrs.size();
   // pair_sum(child) = pair_sum(parent) - sum_{r in removed}
   //   rowsum_parent(r) + pair_sum(removed): the rowsum subtraction counts
   //   removed-removed pairs twice, which pair_sum(removed) adds back.
   for (NodeId r : removed) {
-    parts.relevance_sum -= relevance_[node_slot_[r]];
+    parts.relevance_sum -= index_->relevance[index_->node_slot[r]];
     if (config_.lambda <= 0 || na == 0) continue;
-    const Fingerprint& fr = fingerprints_[node_slot_[r]];
+    const Index::Fingerprint& fr = index_->fingerprints[index_->node_slot[r]];
     double rowsum = 0;
     for (NodeId v : parent_matches) {
       if (v == r) continue;
-      const Fingerprint& fv = fingerprints_[node_slot_[v]];
+      const Index::Fingerprint& fv = index_->fingerprints[index_->node_slot[v]];
       double total = 0;
       for (size_t a = 0; a < na; ++a) total += AttrDistance(a, fr, fv);
       rowsum += total / static_cast<double>(na);
@@ -226,17 +248,17 @@ DiversityEvaluator::Parts DiversityEvaluator::RelaxParts(
     return ComputeParts(child_matches);
   }
   Parts parts = parent;
-  const size_t na = attrs_.size();
+  const size_t na = index_->attrs.size();
   // pair_sum(child) = pair_sum(parent) + sum_{a in added}
   //   rowsum_child(a) - pair_sum(added) (added-added pairs counted twice).
   for (NodeId x : added) {
-    parts.relevance_sum += relevance_[node_slot_[x]];
+    parts.relevance_sum += index_->relevance[index_->node_slot[x]];
     if (config_.lambda <= 0 || na == 0) continue;
-    const Fingerprint& fx = fingerprints_[node_slot_[x]];
+    const Index::Fingerprint& fx = index_->fingerprints[index_->node_slot[x]];
     double rowsum = 0;
     for (NodeId v : child_matches) {
       if (v == x) continue;
-      const Fingerprint& fv = fingerprints_[node_slot_[v]];
+      const Index::Fingerprint& fv = index_->fingerprints[index_->node_slot[v]];
       double total = 0;
       for (size_t a = 0; a < na; ++a) total += AttrDistance(a, fx, fv);
       rowsum += total / static_cast<double>(na);

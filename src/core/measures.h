@@ -1,9 +1,11 @@
 #ifndef FAIRSQG_CORE_MEASURES_H_
 #define FAIRSQG_CORE_MEASURES_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/groups.h"
@@ -34,11 +36,55 @@ struct DiversityConfig {
 /// the label, numeric values differ by |a-b|/range and categorical values by
 /// the normalized edit distance of their strings (memoized per value pair);
 /// attributes missing on one side count as fully different. Node
-/// fingerprints are precomputed once per evaluator, so a distance
-/// evaluation is O(#attrs).
+/// fingerprints are precomputed once per shared Index (see BuildIndex) and
+/// reused read-only by every evaluator holding it, so a distance
+/// evaluation is O(#attrs) and parallel workers skip the precompute.
 class DiversityEvaluator {
  public:
+  /// \brief Immutable per-(graph, output label, relevance fn) precompute:
+  /// node fingerprints, interned categorical values with dense
+  /// normalized-edit-distance matrices, numeric ranges, and per-slot
+  /// relevance. Built once by BuildIndex and shared read-only across
+  /// evaluators — parallel workers reuse one index instead of redoing the
+  /// O(|V_label|·#attrs + Σk²) precompute per verifier.
+  struct Index {
+    /// Per-node, per-attribute compact value: numeric value, interned
+    /// string id, or missing.
+    struct Fingerprint {
+      std::vector<double> numeric;       // NaN when not numeric/missing.
+      std::vector<int32_t> categorical;  // -1 when not string/missing.
+      std::vector<bool> present;
+    };
+
+    LabelId label = 0;
+    size_t label_size = 0;
+    double max_label_degree = 0;
+
+    std::vector<AttrId> attrs;       // Attributes of the label, sorted.
+    std::vector<double> attr_range;  // Numeric value range per attr.
+    std::vector<std::vector<std::string>> attr_values;  // Interned strings.
+    // Dense normalized-edit-distance matrix per categorical attribute,
+    // indexed [value_a * k + value_b]; precomputed so the pairwise hot
+    // loop never touches strings.
+    std::vector<std::vector<double>> string_dist;
+
+    std::vector<int32_t> node_slot;  // NodeId -> fingerprint slot or -1.
+    std::vector<Fingerprint> fingerprints;
+    std::vector<double> relevance;   // Per fingerprint slot.
+  };
+
+  /// Builds the shared precompute for `output_label`. A null `relevance`
+  /// selects normalized degree centrality (the default measure).
+  static std::shared_ptr<const Index> BuildIndex(const Graph& g,
+                                                 LabelId output_label,
+                                                 const RelevanceFn& relevance);
+
   DiversityEvaluator(const Graph& g, LabelId output_label,
+                     DiversityConfig config);
+
+  /// Shares a prebuilt index. `config.relevance` is ignored — the index's
+  /// relevance function was baked in at BuildIndex time.
+  DiversityEvaluator(std::shared_ptr<const Index> index,
                      DiversityConfig config);
 
   /// The additive decomposition of δ: δ = (1-λ)·relevance_sum +
@@ -76,40 +122,22 @@ class DiversityEvaluator {
   double Distance(NodeId a, NodeId b) const;
 
   /// Upper bound of δ over any match set: |V_uo| (paper Section III-A).
-  double MaxDiversity() const { return static_cast<double>(label_size_); }
+  double MaxDiversity() const {
+    return static_cast<double>(index_->label_size);
+  }
 
-  LabelId output_label() const { return label_; }
+  LabelId output_label() const { return index_->label; }
   double lambda() const { return config_.lambda; }
 
+  /// The shared precompute (pass into other evaluators / QGenConfig).
+  const std::shared_ptr<const Index>& index() const { return index_; }
+
  private:
-  /// Per-node, per-attribute compact value: numeric value, interned string
-  /// id, or missing.
-  struct Fingerprint {
-    std::vector<double> numeric;   // NaN when not numeric/missing.
-    std::vector<int32_t> categorical;  // -1 when not string/missing.
-    std::vector<bool> present;
-  };
-
-  const Graph* g_;
-  LabelId label_;
+  std::shared_ptr<const Index> index_;
   DiversityConfig config_;
-  size_t label_size_ = 0;
-  double max_label_degree_ = 0;
 
-  std::vector<AttrId> attrs_;            // Attributes of the label, sorted.
-  std::vector<double> attr_range_;       // Numeric value range per attr.
-  std::vector<std::vector<std::string>> attr_values_;  // Interned strings.
-  // Dense normalized-edit-distance matrix per categorical attribute,
-  // indexed [value_a * k + value_b]; precomputed so the pairwise hot loop
-  // never touches strings.
-  std::vector<std::vector<double>> string_dist_;
-
-  std::vector<int32_t> node_slot_;       // NodeId -> fingerprint slot or -1.
-  std::vector<Fingerprint> fingerprints_;
-  std::vector<double> relevance_;        // Per fingerprint slot.
-
-  double AttrDistance(size_t attr_idx, const Fingerprint& a,
-                      const Fingerprint& b) const;
+  double AttrDistance(size_t attr_idx, const Index::Fingerprint& a,
+                      const Index::Fingerprint& b) const;
 };
 
 /// Result of evaluating the coverage measure for one instance.

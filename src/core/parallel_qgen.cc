@@ -41,6 +41,15 @@ Result<QGenResult> ParallelQGen::Run(const QGenConfig& config,
   ThreadPool pool(num_threads);
   ConcurrentParetoArchive archive(config.epsilon, pool.num_workers());
 
+  // Build the diversity precompute once and share it read-only across the
+  // per-worker verifiers instead of redoing it per verifier.
+  QGenConfig cfg = config;
+  if (cfg.diversity_index == nullptr) {
+    cfg.diversity_index = DiversityEvaluator::BuildIndex(
+        *cfg.graph, cfg.tmpl->node_label(cfg.tmpl->output_node()),
+        cfg.diversity.relevance);
+  }
+
   struct WorkerState {
     std::unique_ptr<InstanceVerifier> verifier;
     size_t verified = 0;
@@ -48,7 +57,7 @@ Result<QGenResult> ParallelQGen::Run(const QGenConfig& config,
   };
   std::vector<WorkerState> states(pool.num_workers());
   for (WorkerState& s : states) {
-    s.verifier = std::make_unique<InstanceVerifier>(config);
+    s.verifier = std::make_unique<InstanceVerifier>(cfg);
   }
 
   // Shared pull source: workers refill a private chunk under this mutex.
@@ -120,7 +129,7 @@ Result<QGenResult> ParallelQGen::Run(const QGenConfig& config,
         std::max(result.stats.verify_wall_seconds, seconds);
     result.stats.cache_hits += s.verifier->cache_hits();
     result.stats.cache_misses += s.verifier->cache_misses();
-    FoldDegradedStats(*s.verifier, &result.stats);
+    FoldVerifierStats(*s.verifier, &result.stats);
   }
   if (expired || (ctx != nullptr && ctx->Expired())) {
     result.stats.deadline_exceeded = true;

@@ -125,7 +125,7 @@ Result<QGenResult> RfQGen::Run(const QGenConfig& config) {
   result.stats.SetSequentialVerifySeconds(explorer.verifier.verify_seconds());
   result.stats.cache_hits = explorer.verifier.cache_hits();
   result.stats.cache_misses = explorer.verifier.cache_misses();
-  FoldDegradedStats(explorer.verifier, &result.stats);
+  FoldVerifierStats(explorer.verifier, &result.stats);
   result.stats.total_seconds = timer.ElapsedSeconds();
   FAIRSQG_RETURN_NOT_OK(ApplyExpiryPolicy(config, result.stats));
   return result;

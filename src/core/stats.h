@@ -44,6 +44,12 @@ struct GenStats {
   size_t aborted_matches = 0;      ///< Matcher searches cut off mid-flight.
   size_t timed_out_instances = 0;  ///< Instances whose verification aborted.
 
+  // Literal-sweep batch verification (QGenConfig::use_sweep_verify,
+  // DESIGN.md §12). Folded from per-verifier counts.
+  size_t sweep_chains = 0;     ///< Range-variable chains verified in one pass.
+  size_t sweep_instances = 0;  ///< Member instances derived from a sweep.
+  size_t sweep_fallbacks = 0;  ///< Sweeps aborted mid-chain (fell back).
+
   double total_seconds = 0;
   double verify_cpu_seconds = 0;   ///< Verifier time summed across workers.
   double verify_wall_seconds = 0;  ///< Max per-worker verifier time.
@@ -76,6 +82,11 @@ struct GenStats {
     if (cache_hits > 0 || cache_misses > 0) {
       s += " cache_hits=" + std::to_string(cache_hits) +
            " cache_misses=" + std::to_string(cache_misses);
+    }
+    if (sweep_chains > 0 || sweep_instances > 0 || sweep_fallbacks > 0) {
+      s += " sweep_chains=" + std::to_string(sweep_chains) +
+           " sweep_instances=" + std::to_string(sweep_instances) +
+           " sweep_fallbacks=" + std::to_string(sweep_fallbacks);
     }
     if (deadline_exceeded || aborted_matches > 0 || timed_out_instances > 0) {
       s += std::string(" deadline_exceeded=") +

@@ -2,6 +2,7 @@
 #define FAIRSQG_CORE_VERIFIER_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "core/config.h"
 #include "core/evaluated.h"
@@ -9,6 +10,8 @@
 #include "matching/subgraph_matcher.h"
 
 namespace fairsqg {
+
+class SweepVerifier;
 
 /// \brief The verification pipeline shared by all algorithms: materialize
 /// an instantiation, compute q(G), evaluate (δ, f), and decide feasibility.
@@ -22,9 +25,16 @@ namespace fairsqg {
 /// the context (hard expiry) or the per-match step budget returns nullptr:
 /// the partial match set is discarded and never cached, and the abort is
 /// recorded in aborted_matches()/timed_out_instances() for GenStats folding.
+///
+/// With config.use_sweep_verify, chain heads (an instance wildcarded or
+/// freshly refined at a range variable) trigger a literal sweep: the whole
+/// chain's match sets are derived in one matcher pass and parked in a
+/// SweepVerifier, then served here exactly like cache hits — archives stay
+/// byte-identical with sweeping on or off (DESIGN.md §12).
 class InstanceVerifier {
  public:
   explicit InstanceVerifier(const QGenConfig& config);
+  ~InstanceVerifier();
 
   /// Full verification from scratch. If `out_candidates` is non-null, the
   /// instance's candidate space is returned for incremental children.
@@ -63,6 +73,12 @@ class InstanceVerifier {
   uint64_t aborted_matches() const { return aborted_matches_; }
   uint64_t timed_out_instances() const { return timed_out_instances_; }
 
+  /// Literal-sweep accounting of THIS verifier (all zero when
+  /// config.use_sweep_verify is off; DESIGN.md §12).
+  uint64_t sweep_chains() const;
+  uint64_t sweep_instances() const;
+  uint64_t sweep_fallbacks() const;
+
   const DiversityEvaluator& diversity() const { return diversity_; }
   const CoverageEvaluator& coverage() const { return coverage_; }
   const MatchStats& match_stats() const { return matcher_.stats(); }
@@ -80,10 +96,20 @@ class InstanceVerifier {
   /// Records an aborted bounded match and produces the nullptr result.
   EvaluatedPtr RecordAbort();
 
+  /// True when chains may be swept: use_sweep_verify is on and no per-match
+  /// step budget is configured (a pooled chain search would consume the
+  /// budget differently from per-instance searches, changing which
+  /// instances abort — so sweeping is disabled under one).
+  bool SweepAllowed() const;
+
+  /// Serves `inst`'s match set from the sweep store, if parked there.
+  bool ServeSwept(const Instantiation& inst, NodeSet* matches);
+
   const QGenConfig* config_;
   SubgraphMatcher matcher_;
   DiversityEvaluator diversity_;
   CoverageEvaluator coverage_;
+  std::unique_ptr<SweepVerifier> sweep_;  // Null unless use_sweep_verify.
   uint64_t verify_seq_ = 0;
   double verify_seconds_ = 0;
   uint64_t cache_hits_ = 0;

@@ -135,6 +135,100 @@ TEST(DiversityTest, CustomRelevanceFn) {
   EXPECT_NEAR(eval.Diversity({0, 1, 2, 3}), 1.0, 1e-9);
 }
 
+// A randomized movie graph for the incremental-equivalence tests: ~60
+// movies with mixed numeric/categorical/missing attributes and skewed
+// degrees, so fingerprints exercise every AttrDistance branch.
+Graph MakeRandomMovieGraph(uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b;
+  const char* genres[] = {"action", "romance", "thriller", "noir", "scifi"};
+  std::vector<NodeId> movies;
+  for (int i = 0; i < 60; ++i) {
+    NodeId m = b.AddNode("movie");
+    if (rng.NextBernoulli(0.85)) {
+      b.SetAttr(m, "genre",
+                AttrValue(std::string(genres[rng.NextBounded(5)])));
+    }
+    if (rng.NextBernoulli(0.9)) {
+      b.SetAttr(m, "rating", AttrValue(1.0 + 9.0 * rng.NextDouble()));
+    }
+    movies.push_back(m);
+  }
+  for (int i = 0; i < 25; ++i) {
+    NodeId d = b.AddNode("director");
+    size_t fan = 1 + rng.NextZipf(8, 1.2);
+    for (size_t j = 0; j < fan; ++j) {
+      b.AddEdge(d, movies[rng.NextBounded(movies.size())], "directed");
+    }
+  }
+  return std::move(b).Build().ValueOrDie();
+}
+
+TEST(DiversityTest, IncrementalPartsMatchFullRecomputation) {
+  // incVerify's coordinate updates must agree with the exact O(n²)
+  // recomputation over random nested chains of match sets — including the
+  // empty-set and single-node edges on both sides of the nesting.
+  Graph g = MakeRandomMovieGraph(20260807);
+  LabelId movie = g.schema().NodeLabelId("movie");
+  DiversityEvaluator eval(g, movie, DiversityConfig{});
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random parent set over the movies; sizes 0, 1 forced periodically.
+    NodeSet parent;
+    double keep = rng.NextDouble();
+    for (NodeId v = 0; v < 60; ++v) {
+      if (rng.NextBernoulli(keep)) parent.push_back(v);
+    }
+    if (trial % 10 == 0) parent.clear();
+    if (trial % 10 == 1) parent.resize(std::min<size_t>(parent.size(), 1));
+    // Random child ⊆ parent (refinement direction).
+    NodeSet child;
+    for (NodeId v : parent) {
+      if (rng.NextBernoulli(0.6)) child.push_back(v);
+    }
+    if (trial % 7 == 0) child.clear();
+
+    DiversityEvaluator::Parts parent_full = eval.ComputeParts(parent);
+    DiversityEvaluator::Parts child_full = eval.ComputeParts(child);
+
+    DiversityEvaluator::Parts refined =
+        eval.RefineParts(parent_full, parent, child);
+    EXPECT_NEAR(refined.relevance_sum, child_full.relevance_sum, 1e-9);
+    EXPECT_NEAR(refined.pair_sum, child_full.pair_sum, 1e-9);
+    EXPECT_NEAR(eval.Combine(refined), eval.Combine(child_full), 1e-9);
+
+    // Relaxation runs the same pair upward: child is the smaller set.
+    DiversityEvaluator::Parts relaxed =
+        eval.RelaxParts(child_full, child, parent);
+    EXPECT_NEAR(relaxed.relevance_sum, parent_full.relevance_sum, 1e-9);
+    EXPECT_NEAR(relaxed.pair_sum, parent_full.pair_sum, 1e-9);
+    EXPECT_NEAR(eval.Combine(relaxed), eval.Combine(parent_full), 1e-9);
+  }
+}
+
+TEST(DiversityTest, SharedIndexMatchesSelfBuiltEvaluator) {
+  // An evaluator over a prebuilt Index must produce bit-identical numbers
+  // to one that ran its own precompute (satellite of DESIGN.md §12: the
+  // index is shared read-only across parallel workers).
+  Graph g = MakeRandomMovieGraph(7);
+  LabelId movie = g.schema().NodeLabelId("movie");
+  DiversityConfig cfg;
+  cfg.lambda = 0.35;
+  DiversityEvaluator own(g, movie, cfg);
+  DiversityEvaluator shared(DiversityEvaluator::BuildIndex(g, movie, nullptr),
+                            cfg);
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    NodeSet set;
+    for (NodeId v = 0; v < 60; ++v) {
+      if (rng.NextBernoulli(0.3)) set.push_back(v);
+    }
+    EXPECT_DOUBLE_EQ(own.Diversity(set), shared.Diversity(set));
+  }
+  EXPECT_DOUBLE_EQ(own.MaxDiversity(), shared.MaxDiversity());
+  EXPECT_EQ(own.output_label(), shared.output_label());
+}
+
 TEST(CoverageTest, ExactCoverageScoresMax) {
   GroupSet groups = GroupSet::Create(10, {{0, 1, 2}, {5, 6}}, {2, 1}).ValueOrDie();
   CoverageEvaluator eval(groups);

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compare a freshly produced BENCH_*.json against a committed baseline.
+
+Usage:
+    check_bench_regression.py BASELINE CURRENT [--max-ratio 2.0]
+                              [--min-seconds 0.05]
+
+Fails (exit 1) when any wall-clock field in CURRENT exceeds the baseline's
+value by more than --max-ratio, or when the two files have incompatible
+schema_version stamps. Timings below --min-seconds in the baseline are
+skipped: at that magnitude runner noise dwarfs any real regression.
+
+Only *_s / *_seconds / *_ms fields are compared — counters, speedup ratios,
+and structural fields are ignored, so a faster machine never fails and a
+changed scenario fails loudly via schema_version rather than spuriously via
+timings.
+"""
+
+import argparse
+import json
+import sys
+
+
+def walk(node, path=""):
+    """Yields (dotted_path, value) for every leaf in a parsed JSON tree.
+
+    List elements are keyed by a "name" field when present so benchmark
+    rows pair up by identity, not position.
+    """
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from walk(value, f"{path}.{key}" if path else key)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            tag = value.get("name", str(i)) if isinstance(value, dict) else str(i)
+            yield from walk(value, f"{path}[{tag}]")
+    else:
+        yield path, node
+
+
+def is_timing(path):
+    leaf = path.rsplit(".", 1)[-1]
+    return leaf.endswith(("_s", "_seconds", "_ms")) or leaf in ("seconds", "ms")
+
+
+def in_seconds(path, value):
+    return value / 1000.0 if path.rsplit(".", 1)[-1].endswith("_ms") else value
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail when current > baseline * ratio")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        help="skip baseline timings below this many seconds")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    base_schema = baseline.get("schema_version")
+    cur_schema = current.get("schema_version")
+    if base_schema != cur_schema:
+        print(f"FAIL: schema_version mismatch: baseline={base_schema} "
+              f"current={cur_schema}; regenerate the committed baseline")
+        return 1
+
+    base_values = dict(walk(baseline))
+    failures = []
+    compared = skipped = 0
+    for path, value in walk(current):
+        if not is_timing(path) or not isinstance(value, (int, float)):
+            continue
+        base = base_values.get(path)
+        if not isinstance(base, (int, float)):
+            continue
+        if in_seconds(path, base) < args.min_seconds:
+            skipped += 1
+            continue
+        compared += 1
+        if value > base * args.max_ratio:
+            failures.append((path, base, value))
+
+    label = f"{args.current} vs {args.baseline}"
+    for path, base, value in failures:
+        print(f"FAIL: {path}: {value:g} > {args.max_ratio:g}x baseline "
+              f"{base:g}")
+    if failures:
+        print(f"{label}: {len(failures)} regression(s) across {compared} "
+              f"compared timing(s)")
+        return 1
+    print(f"{label}: OK ({compared} timing(s) within {args.max_ratio:g}x, "
+          f"{skipped} below the {args.min_seconds:g}s noise floor)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
