@@ -41,6 +41,7 @@ struct EndToEnd {
   double warm_speedup = 0; // baseline / warm rerun.
   size_t cache_hits = 0;   // Hits during the warm rerun.
   size_t cache_misses = 0; // Misses during the cold run.
+  GenStats opt_stats;      // Full GenStats of the cold optimized run.
 };
 
 std::vector<QueryInstance> SampleInstances(const Scenario& s) {
@@ -97,6 +98,7 @@ EndToEnd BenchBiQGen(const Scenario& s) {
   e.optimized_s = optimized.ElapsedSeconds();
   e.speedup = e.optimized_s > 0 ? e.baseline_s / e.optimized_s : 0;
   e.cache_misses = opt.stats.cache_misses;
+  e.opt_stats = opt.stats;
 
   // Rerun against the warm cache: the amortized regime of repeated
   // generation over one scenario (parameter sweeps, online re-generation),
@@ -125,39 +127,41 @@ struct Row {
 
 void WriteJson(const std::vector<Row>& rows, int repeat,
                const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  FAIRSQG_CHECK(f != nullptr) << "cannot write " << path;
-  std::fprintf(f, "{\n  \"bench\": \"candidate_index\",\n");
-  std::fprintf(f, "  \"schema_version\": %d,\n", kBenchSchemaVersion);
-  std::fprintf(f, "  \"scale\": %g,\n", BenchScale());
-  std::fprintf(f, "  \"reps\": %d,\n  \"repeat\": %d,\n  \"datasets\": [\n",
-               kReps, repeat);
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"nodes\": %zu, \"edges\": %zu,\n"
-                 "     \"candidate_build\": {\"instances\": %zu, "
-                 "\"scan_ms\": %.3f, \"index_ms\": %.3f, "
-                 "\"scan_ms_min\": %.3f, \"index_ms_min\": %.3f, "
-                 "\"speedup\": %.2f},\n"
-                 "     \"biqgen\": {\"baseline_s\": %.3f, \"optimized_s\": "
-                 "%.3f, \"warm_s\": %.3f, \"baseline_s_min\": %.3f, "
-                 "\"optimized_s_min\": %.3f, \"warm_s_min\": %.3f, "
-                 "\"speedup\": %.2f, "
-                 "\"warm_speedup\": %.2f, \"cache_hits\": %zu, "
-                 "\"cache_misses\": %zu}}%s\n",
-                 r.dataset.c_str(), r.nodes, r.edges, r.build.instances,
-                 r.build.scan_ms, r.build.index_ms, r.scan_ms_min,
-                 r.index_ms_min, r.build.speedup,
-                 r.e2e.baseline_s, r.e2e.optimized_s, r.e2e.warm_s,
-                 r.baseline_s_min, r.optimized_s_min, r.warm_s_min,
-                 r.e2e.speedup, r.e2e.warm_speedup, r.e2e.cache_hits,
-                 r.e2e.cache_misses,
-                 i + 1 < rows.size() ? "," : "");
+  obs::Json root = BenchReport("candidate_index", repeat);
+  root.Set("scale", obs::Json(BenchScale()));
+  root.Set("reps", obs::Json(static_cast<int64_t>(kReps)));
+  obs::Json datasets = obs::Json::Array();
+  for (const Row& r : rows) {
+    obs::Json row = obs::Json::Object();
+    row.Set("name", obs::Json(r.dataset));
+    row.Set("nodes", obs::Json(static_cast<uint64_t>(r.nodes)));
+    row.Set("edges", obs::Json(static_cast<uint64_t>(r.edges)));
+    obs::Json build = obs::Json::Object();
+    build.Set("instances", obs::Json(static_cast<uint64_t>(r.build.instances)));
+    build.Set("scan_ms", obs::Json(r.build.scan_ms));
+    build.Set("index_ms", obs::Json(r.build.index_ms));
+    build.Set("scan_ms_min", obs::Json(r.scan_ms_min));
+    build.Set("index_ms_min", obs::Json(r.index_ms_min));
+    build.Set("speedup", obs::Json(r.build.speedup));
+    row.Set("candidate_build", std::move(build));
+    obs::Json biqgen = obs::Json::Object();
+    biqgen.Set("baseline_s", obs::Json(r.e2e.baseline_s));
+    biqgen.Set("optimized_s", obs::Json(r.e2e.optimized_s));
+    biqgen.Set("warm_s", obs::Json(r.e2e.warm_s));
+    biqgen.Set("baseline_s_min", obs::Json(r.baseline_s_min));
+    biqgen.Set("optimized_s_min", obs::Json(r.optimized_s_min));
+    biqgen.Set("warm_s_min", obs::Json(r.warm_s_min));
+    biqgen.Set("speedup", obs::Json(r.e2e.speedup));
+    biqgen.Set("warm_speedup", obs::Json(r.e2e.warm_speedup));
+    biqgen.Set("cache_hits", obs::Json(static_cast<uint64_t>(r.e2e.cache_hits)));
+    biqgen.Set("cache_misses",
+               obs::Json(static_cast<uint64_t>(r.e2e.cache_misses)));
+    biqgen.Set("stats", obs::RunReport::StatsJson(r.e2e.opt_stats));
+    row.Set("biqgen", std::move(biqgen));
+    datasets.Push(std::move(row));
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", path.c_str());
+  root.Set("datasets", std::move(datasets));
+  WriteBenchJson(root, path);
 }
 
 void Run(int repeat) {

@@ -5,9 +5,30 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "common/logging.h"
 #include "common/timer.h"
 
 namespace fairsqg::bench {
+
+obs::Json BenchReport(const std::string& bench, int repeat) {
+  obs::Json root = obs::Json::Object();
+  root.Set("kind", obs::Json(obs::RunReport::kKind));
+  root.Set("schema_version",
+           obs::Json(static_cast<int64_t>(kBenchSchemaVersion)));
+  root.Set("bench", obs::Json(bench));
+  root.Set("repeat", obs::Json(static_cast<int64_t>(repeat)));
+  return root;
+}
+
+void WriteBenchJson(const obs::Json& root, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  FAIRSQG_CHECK(f != nullptr) << "cannot write " << path;
+  std::string text = root.Dump(2);
+  text.push_back('\n');
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
 
 int ParseRepeat(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -23,6 +44,21 @@ int ParseRepeat(int argc, char** argv) {
     }
   }
   return 1;
+}
+
+obs::TraceDetail ParseTraceDetail(int argc, char** argv) {
+  std::string level;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--trace-detail" && i + 1 < argc) level = argv[i + 1];
+    const std::string prefix = "--trace-detail=";
+    if (arg.rfind(prefix, 0) == 0) level = arg.substr(prefix.size());
+  }
+  if (level.empty() || level == "off") return obs::TraceDetail::kOff;
+  if (level == "phase") return obs::TraceDetail::kPhase;
+  if (level == "full") return obs::TraceDetail::kFull;
+  FAIRSQG_CHECK(false) << "unknown --trace-detail level: " << level;
+  return obs::TraceDetail::kOff;
 }
 
 double Median(std::vector<double> samples) {

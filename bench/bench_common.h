@@ -9,6 +9,9 @@
 #include "core/enumerate.h"
 #include "core/indicators.h"
 #include "core/qgen_result.h"
+#include "obs/json.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 #include "workload/scenario.h"
 
 namespace fairsqg::bench {
@@ -17,12 +20,33 @@ namespace fairsqg::bench {
 /// harness emits; bump whenever a field name or its semantics change so
 /// downstream consumers (tools/check_bench_regression.py, dashboards) can
 /// refuse to compare incompatible files.
-constexpr int kBenchSchemaVersion = 2;
+///
+/// v3: the file is a RunReport-shaped snapshot ("kind":
+/// "fairsqg.run_report") built with obs::Json, and each row embeds the
+/// full GenStats view of its representative run under "stats".
+constexpr int kBenchSchemaVersion = 3;
+
+/// Root object of one BENCH_*.json: the RunReport discriminator ("kind")
+/// plus the bench id, this harness's schema stamp, and the repeat count.
+/// Benches add their scenario fields and a row array, then hand the
+/// finished object to WriteBenchJson.
+obs::Json BenchReport(const std::string& bench, int repeat);
+
+/// Pretty-prints `root` to `path` (trailing newline included) and logs the
+/// path to stdout; CHECK-fails when the file cannot be written.
+void WriteBenchJson(const obs::Json& root, const std::string& path);
 
 /// Parses `--repeat N` from the benchmark's argv (default 1). Benchmarks
 /// rerun each timed section N times and report the median (typical run)
 /// and min (noise floor) of the samples.
 int ParseRepeat(int argc, char** argv);
+
+/// Parses `--trace-detail off|phase|full` (default off). Benches that honor
+/// it enable the global tracer (and metrics) before their timed sections so
+/// the observability overhead is measurable with the same harness that
+/// produced the committed baselines (DESIGN.md §13). CHECK-fails on an
+/// unknown level.
+obs::TraceDetail ParseTraceDetail(int argc, char** argv);
 
 /// Median of `samples` — the average of the middle two for even counts;
 /// 0 when empty.

@@ -20,6 +20,8 @@
 #include "core/bi_qgen.h"
 #include "core/enum_qgen.h"
 #include "core/rf_qgen.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fairsqg::bench {
 namespace {
@@ -76,35 +78,35 @@ struct Row {
   size_t sweep_chains = 0;
   size_t sweep_instances = 0;
   size_t sweep_fallbacks = 0;
+  GenStats swept_stats;        // Full GenStats of the rep-0 swept run.
 };
 
 void WriteJson(const std::vector<Row>& rows, int repeat,
                const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  FAIRSQG_CHECK(f != nullptr) << "cannot write " << path;
-  std::fprintf(f, "{\n  \"bench\": \"sweep_verify\",\n");
-  std::fprintf(f, "  \"schema_version\": %d,\n", kBenchSchemaVersion);
-  std::fprintf(f, "  \"dataset\": \"lki\",\n  \"scale\": %g,\n", kScale);
-  std::fprintf(f, "  \"domain_values\": %zu,\n  \"repeat\": %d,\n",
-               kDomainValues, repeat);
-  std::fprintf(f, "  \"algorithms\": [\n");
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"verified\": %zu,\n"
-                 "     \"baseline_verify_s\": %.4f, \"sweep_verify_s\": %.4f,\n"
-                 "     \"baseline_verify_s_min\": %.4f, "
-                 "\"sweep_verify_s_min\": %.4f,\n"
-                 "     \"speedup\": %.2f, \"sweep_chains\": %zu, "
-                 "\"sweep_instances\": %zu, \"sweep_fallbacks\": %zu}%s\n",
-                 r.algo.c_str(), r.verified, r.base_verify_s, r.sweep_verify_s,
-                 r.base_verify_s_min, r.sweep_verify_s_min, r.speedup,
-                 r.sweep_chains, r.sweep_instances, r.sweep_fallbacks,
-                 i + 1 < rows.size() ? "," : "");
+  obs::Json root = BenchReport("sweep_verify", repeat);
+  root.Set("dataset", obs::Json("lki"));
+  root.Set("scale", obs::Json(kScale));
+  root.Set("domain_values", obs::Json(static_cast<uint64_t>(kDomainValues)));
+  obs::Json algos = obs::Json::Array();
+  for (const Row& r : rows) {
+    obs::Json row = obs::Json::Object();
+    row.Set("name", obs::Json(r.algo));
+    row.Set("verified", obs::Json(static_cast<uint64_t>(r.verified)));
+    row.Set("baseline_verify_s", obs::Json(r.base_verify_s));
+    row.Set("sweep_verify_s", obs::Json(r.sweep_verify_s));
+    row.Set("baseline_verify_s_min", obs::Json(r.base_verify_s_min));
+    row.Set("sweep_verify_s_min", obs::Json(r.sweep_verify_s_min));
+    row.Set("speedup", obs::Json(r.speedup));
+    row.Set("sweep_chains", obs::Json(static_cast<uint64_t>(r.sweep_chains)));
+    row.Set("sweep_instances",
+            obs::Json(static_cast<uint64_t>(r.sweep_instances)));
+    row.Set("sweep_fallbacks",
+            obs::Json(static_cast<uint64_t>(r.sweep_fallbacks)));
+    row.Set("stats", obs::RunReport::StatsJson(r.swept_stats));
+    algos.Push(std::move(row));
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", path.c_str());
+  root.Set("algorithms", std::move(algos));
+  WriteBenchJson(root, path);
 }
 
 void Run(int repeat) {
@@ -149,6 +151,7 @@ void Run(int repeat) {
         row.sweep_chains = swept.stats.sweep_chains;
         row.sweep_instances = swept.stats.sweep_instances;
         row.sweep_fallbacks = swept.stats.sweep_fallbacks;
+        row.swept_stats = swept.stats;
       }
     }
     row.base_verify_s = Median(base_s);
@@ -172,6 +175,14 @@ void Run(int repeat) {
 }  // namespace fairsqg::bench
 
 int main(int argc, char** argv) {
+  // --trace-detail full turns the whole bench into an overhead probe: same
+  // timed sections, tracer + metrics hot (DESIGN.md §13 quotes the delta).
+  fairsqg::obs::TraceDetail detail =
+      fairsqg::bench::ParseTraceDetail(argc, argv);
+  if (detail != fairsqg::obs::TraceDetail::kOff) {
+    fairsqg::obs::Tracer::Global().Enable(detail);
+    fairsqg::obs::MetricsRegistry::Global().set_enabled(true);
+  }
   fairsqg::bench::Run(fairsqg::bench::ParseRepeat(argc, argv));
   return 0;
 }

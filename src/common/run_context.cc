@@ -1,27 +1,19 @@
 #include "common/run_context.h"
 
+#include "common/timer.h"
+
 namespace fairsqg {
-
-namespace {
-
-int64_t NowNanos() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
 
 void RunContext::SetDeadlineAfterMillis(double ms) {
   int64_t delta = static_cast<int64_t>(ms * 1e6);
-  int64_t at = NowNanos() + (delta > 0 ? delta : 0);
+  int64_t at = MonotonicNanos() + (delta > 0 ? delta : 0);
   // 0 means "no deadline"; an exact collision just shifts by one nano.
   deadline_ns_ = at == 0 ? 1 : at;
 }
 
 bool RunContext::HardExpired() const {
   if (cancelled_.load(std::memory_order_relaxed)) return true;
-  return deadline_ns_ != 0 && NowNanos() >= deadline_ns_;
+  return deadline_ns_ != 0 && MonotonicNanos() >= deadline_ns_;
 }
 
 bool RunContext::PollVerification() {

@@ -53,6 +53,8 @@ size_t ThreadPool::WorkerIndex() const {
   return tls_pool == this ? tls_index : kNotAWorker;
 }
 
+size_t ThreadPool::CurrentWorkerId() { return tls_index; }
+
 void ThreadPool::Enqueue(size_t worker, std::function<void()> task) {
   {
     // Account before publishing so a racing completion can never observe

@@ -62,6 +62,12 @@ class ThreadPool {
   /// kNotAWorker when called from a thread the pool does not own.
   size_t WorkerIndex() const;
 
+  /// Worker index of the calling thread within whichever pool owns it, or
+  /// kNotAWorker when the thread belongs to no pool. Unlike WorkerIndex()
+  /// this needs no pool reference, so observers (the tracer's worker
+  /// attribution) can ask without plumbing the pool through every layer.
+  static size_t CurrentWorkerId();
+
   /// Lifetime counters, attributed per worker and summed on read.
   struct Stats {
     uint64_t executed = 0;  ///< Tasks run to completion.

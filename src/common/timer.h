@@ -6,6 +6,19 @@
 
 namespace fairsqg {
 
+/// \brief Nanoseconds on the process-wide monotonic clock.
+///
+/// The single time source for every duration the system records: Timer,
+/// RunContext deadlines, trace spans and metric timestamps all derive from
+/// steady_clock through this helper, so durations computed across
+/// subsystems are always non-negative and mutually comparable (never mixed
+/// with the adjustable system_clock).
+inline int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 /// \brief Monotonic wall-clock stopwatch used by the benchmark harness and
 /// the online algorithm's delay-time accounting.
 class Timer {

@@ -12,6 +12,7 @@
 #include "core/pareto_archive.h"
 #include "core/template_refiner.h"
 #include "core/verifier.h"
+#include "obs/trace.h"
 
 namespace fairsqg {
 
@@ -88,6 +89,7 @@ struct ExplorerState {
     if (stopped) return true;
     if (config.run_context != nullptr &&
         config.run_context->PollVerification()) {
+      FAIRSQG_TRACE_INSTANT("run_context.stop");
       stopped = true;
       result->stats.deadline_exceeded = true;
       return true;
@@ -297,6 +299,7 @@ struct BiExplorer : ExplorerState {
   }
 
   void Run() {
+    FAIRSQG_TRACE_SPAN("bi_qgen.explore");
     SeedFrontiers();
     while ((!forward.empty() || !backward.empty()) && Budget()) {
       if (!forward.empty()) StepForward();
@@ -475,16 +478,20 @@ struct ParallelBiExplorer : ExplorerState {
   }
 
   void Run() {
+    FAIRSQG_TRACE_SPAN("bi_qgen.explore_parallel");
     SeedFrontiers();
     std::vector<Slot> batch;
     while ((!forward.empty() || !backward.empty()) && Budget()) {
       CollectBatch(&batch);
       if (batch.empty()) continue;  // Whole batch pruned; refill.
       result->stats.enqueued += batch.size();
-      for (Slot& slot : batch) {
-        pool.Submit([this, &slot] { VerifySlot(&slot); });
+      {
+        FAIRSQG_TRACE_SPAN_FULL("bi_qgen.batch");
+        for (Slot& slot : batch) {
+          pool.Submit([this, &slot] { VerifySlot(&slot); });
+        }
+        pool.Wait();
       }
-      pool.Wait();
       for (Slot& slot : batch) FoldSlot(slot);
     }
     for (const std::unique_ptr<InstanceVerifier>& v : verifiers) {
@@ -498,6 +505,8 @@ struct ParallelBiExplorer : ExplorerState {
       FoldVerifierStats(*v, &result->stats);
     }
     result->stats.stolen = pool.stats().stolen;
+    FAIRSQG_COUNT_N("fairsqg.pool.stolen", result->stats.stolen);
+    FAIRSQG_COUNT_N("fairsqg.pool.enqueued", result->stats.enqueued);
   }
 };
 
@@ -505,6 +514,7 @@ struct ParallelBiExplorer : ExplorerState {
 
 Result<QGenResult> BiQGen::Run(const QGenConfig& config) {
   FAIRSQG_RETURN_NOT_OK(config.Validate());
+  FAIRSQG_TRACE_SPAN("bi_qgen.run");
   Timer timer;
   QGenResult result;
   BiExplorer explorer(config, &result);
@@ -525,6 +535,7 @@ Result<QGenResult> BiQGen::RunParallel(const QGenConfig& config,
   }
   if (num_threads == 1) return Run(config);
   FAIRSQG_RETURN_NOT_OK(config.Validate());
+  FAIRSQG_TRACE_SPAN("bi_qgen.run_parallel");
   Timer timer;
   QGenResult result;
   // Build the diversity precompute once and share it read-only across the

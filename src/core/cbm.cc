@@ -4,11 +4,13 @@
 
 #include "common/timer.h"
 #include "core/enumerate.h"
+#include "obs/trace.h"
 
 namespace fairsqg {
 
 Result<QGenResult> Cbm::Run(const QGenConfig& config, size_t num_sections) {
   FAIRSQG_RETURN_NOT_OK(config.Validate());
+  FAIRSQG_TRACE_SPAN("cbm.run");
   Timer timer;
   QGenResult result;
   InstanceVerifier verifier(config);

@@ -3,11 +3,13 @@
 #include "common/timer.h"
 #include "core/enumerate.h"
 #include "core/pareto_archive.h"
+#include "obs/trace.h"
 
 namespace fairsqg {
 
 Result<QGenResult> EnumQGen::Run(const QGenConfig& config) {
   FAIRSQG_RETURN_NOT_OK(config.Validate());
+  FAIRSQG_TRACE_SPAN("enum_qgen.run");
   Timer timer;
   QGenResult result;
   InstanceVerifier verifier(config);
@@ -18,6 +20,7 @@ Result<QGenResult> EnumQGen::Run(const QGenConfig& config) {
   Instantiation inst;
   while (it.Next(&inst)) {
     if (ctx != nullptr && ctx->PollVerification()) {
+      FAIRSQG_TRACE_INSTANT("run_context.stop");
       result.stats.deadline_exceeded = true;
       break;
     }
@@ -39,7 +42,10 @@ Result<QGenResult> EnumQGen::Run(const QGenConfig& config) {
     }
   }
   if (ctx != nullptr && ctx->Expired()) result.stats.deadline_exceeded = true;
-  result.pareto = archive.SortedEntries();
+  {
+    FAIRSQG_TRACE_SPAN("archive_collect");
+    result.pareto = archive.SortedEntries();
+  }
   result.stats.SetSequentialVerifySeconds(verifier.verify_seconds());
   result.stats.cache_hits = verifier.cache_hits();
   result.stats.cache_misses = verifier.cache_misses();

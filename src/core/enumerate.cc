@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/timer.h"
+#include "obs/trace.h"
 
 namespace fairsqg {
 
@@ -64,12 +65,14 @@ Result<std::vector<EvaluatedPtr>> VerifyAllInstances(const QGenConfig& config,
         " > " + std::to_string(cap) + "; coarsen the variable domains");
   }
   Timer timer;
+  FAIRSQG_TRACE_SPAN("enumerate_verify");
   RunContext* ctx = config.run_context;
   std::vector<EvaluatedPtr> all;
   all.reserve(it.SpaceSize());
   Instantiation inst;
   while (it.Next(&inst)) {
     if (ctx != nullptr && ctx->PollVerification()) {
+      FAIRSQG_TRACE_INSTANT("run_context.stop");
       if (stats != nullptr) stats->deadline_exceeded = true;
       break;
     }

@@ -2,11 +2,13 @@
 
 #include "common/timer.h"
 #include "core/enumerate.h"
+#include "obs/trace.h"
 
 namespace fairsqg {
 
 Result<QGenResult> Kungs::Run(const QGenConfig& config) {
   FAIRSQG_RETURN_NOT_OK(config.Validate());
+  FAIRSQG_TRACE_SPAN("kungs.run");
   Timer timer;
   QGenResult result;
   InstanceVerifier verifier(config);

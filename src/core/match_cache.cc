@@ -5,6 +5,7 @@
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace fairsqg {
 
@@ -117,9 +118,11 @@ bool MatchSetCache::Lookup(const std::string& key, NodeSet* out) {
   auto it = shard.index.find(std::string_view(key));
   if (it == shard.index.end()) {
     ++shard.misses;
+    FAIRSQG_COUNT("fairsqg.cache.misses");
     return false;
   }
   ++shard.hits;
+  FAIRSQG_COUNT("fairsqg.cache.hits");
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   *out = it->second->matches;
   return true;
@@ -145,12 +148,14 @@ void MatchSetCache::Insert(const std::string& key, const NodeSet& matches) {
                       shard.lru.begin());
   shard.bytes += bytes;
   ++shard.insertions;
+  FAIRSQG_COUNT("fairsqg.cache.insertions");
   while (shard.bytes > shard_capacity_) {
     Entry& victim = shard.lru.back();
     shard.bytes -= victim.bytes;
     shard.index.erase(std::string_view(victim.key));
     shard.lru.pop_back();
     ++shard.evictions;
+    FAIRSQG_COUNT("fairsqg.cache.evictions");
   }
 }
 

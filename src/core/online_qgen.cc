@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/timer.h"
+#include "obs/trace.h"
 
 namespace fairsqg {
 
@@ -40,9 +41,11 @@ void OnlineQGen::TryPromoteCached() {
 }
 
 double OnlineQGen::Process(const Instantiation& inst) {
+  FAIRSQG_TRACE_SPAN_FULL("online_qgen.process");
   Timer timer;
   if (config_->run_context != nullptr &&
       config_->run_context->PollVerification()) {
+    FAIRSQG_TRACE_INSTANT("run_context.stop");
     // Stream element dropped: the archive keeps serving its current
     // best-so-far top-k; the caller sees the flag in Snapshot().stats.
     stats_.deadline_exceeded = true;

@@ -11,6 +11,7 @@
 #include "core/concurrent_archive.h"
 #include "core/enumerate.h"
 #include "core/verifier.h"
+#include "obs/trace.h"
 
 namespace fairsqg {
 
@@ -29,6 +30,7 @@ Result<QGenResult> ParallelQGen::Run(const QGenConfig& config,
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
+  FAIRSQG_TRACE_SPAN("parallel_qgen.run");
   Timer timer;
   QGenResult result;
 
@@ -80,6 +82,7 @@ Result<QGenResult> ParallelQGen::Run(const QGenConfig& config,
            (config.max_verifications == 0 ||
             dispatched < config.max_verifications)) {
       if (ctx != nullptr && ctx->PollVerification()) {
+        FAIRSQG_TRACE_INSTANT("run_context.stop");
         expired = true;
         break;
       }
@@ -137,7 +140,12 @@ Result<QGenResult> ParallelQGen::Run(const QGenConfig& config,
   result.stats.generated = dispatched;
   result.stats.enqueued = num_chunks;
   result.stats.stolen = pool.stats().stolen;
-  result.pareto = archive.MergedSortedEntries();
+  FAIRSQG_COUNT_N("fairsqg.pool.stolen", result.stats.stolen);
+  FAIRSQG_COUNT_N("fairsqg.pool.enqueued", result.stats.enqueued);
+  {
+    FAIRSQG_TRACE_SPAN("archive_collect");
+    result.pareto = archive.MergedSortedEntries();
+  }
   result.stats.total_seconds = timer.ElapsedSeconds();
   FAIRSQG_RETURN_NOT_OK(ApplyExpiryPolicy(config, result.stats));
   return result;

@@ -7,6 +7,7 @@
 #include "core/pareto_archive.h"
 #include "core/template_refiner.h"
 #include "core/verifier.h"
+#include "obs/trace.h"
 
 namespace fairsqg {
 
@@ -63,6 +64,7 @@ struct Explorer {
     }
     if (config.run_context != nullptr &&
         config.run_context->PollVerification()) {
+      FAIRSQG_TRACE_INSTANT("run_context.stop");
       stopped = true;
       result->stats.deadline_exceeded = true;
       return;
@@ -112,6 +114,7 @@ struct Explorer {
 
 Result<QGenResult> RfQGen::Run(const QGenConfig& config) {
   FAIRSQG_RETURN_NOT_OK(config.Validate());
+  FAIRSQG_TRACE_SPAN("rf_qgen.run");
   Timer timer;
   QGenResult result;
   Explorer explorer(config, &result);
@@ -121,7 +124,10 @@ Result<QGenResult> RfQGen::Run(const QGenConfig& config) {
   if (config.run_context != nullptr && config.run_context->Expired()) {
     result.stats.deadline_exceeded = true;
   }
-  result.pareto = explorer.archive.SortedEntries();
+  {
+    FAIRSQG_TRACE_SPAN("archive_collect");
+    result.pareto = explorer.archive.SortedEntries();
+  }
   result.stats.SetSequentialVerifySeconds(explorer.verifier.verify_seconds());
   result.stats.cache_hits = explorer.verifier.cache_hits();
   result.stats.cache_misses = explorer.verifier.cache_misses();

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "core/match_cache.h"
+#include "obs/trace.h"
 
 namespace fairsqg {
 
@@ -66,6 +67,7 @@ SweepVerifier::Outcome SweepVerifier::SweepChain(
     const QueryInstance& q, RangeVarId var, const CandidateSpace& candidates,
     const NodeSet* output_restrict, SubgraphMatcher* matcher,
     const FeasibilityGate& gate, NodeSet* head_matches) {
+  FAIRSQG_TRACE_SPAN_FULL("sweep_chain");
   const QueryTemplate& tmpl = *config_->tmpl;
   const LiteralTemplate& lit = tmpl.literals()[tmpl.literal_of_var(var)];
   const std::vector<AttrValue>& values = config_->domains->values(var);
@@ -82,6 +84,7 @@ SweepVerifier::Outcome SweepVerifier::SweepChain(
     MatchResult res =
         matcher->MatchOutputBounded(q, candidates, ctx, output_restrict);
     if (res.outcome == MatchOutcome::kAborted) {
+      FAIRSQG_COUNT("fairsqg.sweep.fallbacks");
       ++fallbacks_;
       return Outcome::kAborted;
     }
@@ -94,6 +97,9 @@ SweepVerifier::Outcome SweepVerifier::SweepChain(
       member.set_range_binding(var, k);
       PublishMember(member, res.matches);
     }
+    FAIRSQG_COUNT("fairsqg.sweep.chains");
+    FAIRSQG_COUNT_N("fairsqg.sweep.instances",
+                    static_cast<uint64_t>(m - 1 - head_level));
     ++chains_;
     instances_ += static_cast<uint64_t>(m - 1 - head_level);
     *head_matches = std::move(res.matches);
@@ -115,6 +121,7 @@ SweepVerifier::Outcome SweepVerifier::SweepChain(
   SweepMatchResult head = matcher->MatchOutputWithWitness(q, candidates, spec,
                                                           ctx, output_restrict);
   if (head.outcome == MatchOutcome::kAborted) {
+    FAIRSQG_COUNT("fairsqg.sweep.fallbacks");
     ++fallbacks_;
     return Outcome::kAborted;
   }
@@ -125,6 +132,7 @@ SweepVerifier::Outcome SweepVerifier::SweepChain(
   if (matcher->ResolveSweepThresholds(q, candidates, spec, head.matches, ctx,
                                       &head.thresholds) ==
       MatchOutcome::kAborted) {
+    FAIRSQG_COUNT("fairsqg.sweep.fallbacks");
     ++fallbacks_;
     return Outcome::kAborted;  // Partial thresholds: publish nothing.
   }
@@ -141,6 +149,9 @@ SweepVerifier::Outcome SweepVerifier::SweepChain(
     }
     PublishMember(member, std::move(set));
   }
+  FAIRSQG_COUNT("fairsqg.sweep.chains");
+  FAIRSQG_COUNT_N("fairsqg.sweep.instances",
+                  static_cast<uint64_t>(m - 1 - head_level));
   ++chains_;
   instances_ += static_cast<uint64_t>(m - 1 - head_level);
   *head_matches = std::move(head.matches);

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "core/sweep_verifier.h"
+#include "obs/trace.h"
 
 namespace fairsqg {
 
@@ -46,7 +47,11 @@ bool InstanceVerifier::SweepAllowed() const {
 }
 
 bool InstanceVerifier::ServeSwept(const Instantiation& inst, NodeSet* matches) {
-  return sweep_ != nullptr && sweep_->Serve(inst, matches);
+  if (sweep_ != nullptr && sweep_->Serve(inst, matches)) {
+    FAIRSQG_COUNT("fairsqg.verify.sweep_served");
+    return true;
+  }
+  return false;
 }
 
 uint64_t InstanceVerifier::sweep_chains() const {
@@ -64,6 +69,8 @@ uint64_t InstanceVerifier::sweep_fallbacks() const {
 EvaluatedPtr InstanceVerifier::FinishWithParts(const Instantiation& inst,
                                                NodeSet matches,
                                                DiversityEvaluator::Parts parts) {
+  FAIRSQG_TRACE_SPAN_FULL("evaluate");
+  FAIRSQG_COUNT("fairsqg.verify.completed");
   auto out = std::make_shared<EvaluatedInstance>();
   out->inst = inst;
   out->relevance_sum = parts.relevance_sum;
@@ -84,6 +91,7 @@ EvaluatedPtr InstanceVerifier::Finish(const Instantiation& inst, NodeSet matches
 }
 
 EvaluatedPtr InstanceVerifier::RecordAbort() {
+  FAIRSQG_COUNT("fairsqg.verify.aborted_instances");
   ++aborted_matches_;
   ++timed_out_instances_;
   return nullptr;
@@ -92,18 +100,22 @@ EvaluatedPtr InstanceVerifier::RecordAbort() {
 bool InstanceVerifier::LookupCached(const QueryInstance& q, NodeSet* matches,
                                     std::string* key) {
   if (config_->match_cache == nullptr) return false;
+  FAIRSQG_COUNT("fairsqg.verify.cache_lookups");
   *key = MatchSetCache::KeyFor(q);
   if (config_->match_cache->Lookup(*key, matches)) {
+    FAIRSQG_COUNT("fairsqg.verify.cache_hits");
     ++cache_hits_;
     key->clear();
     return true;
   }
+  FAIRSQG_COUNT("fairsqg.verify.cache_misses");
   ++cache_misses_;
   return false;
 }
 
 EvaluatedPtr InstanceVerifier::Verify(const Instantiation& inst,
                                       CandidateSpace* out_candidates) {
+  FAIRSQG_TRACE_SPAN_FULL("verify");
   Timer timer;
   NodeSet matches;
   std::string key;
@@ -113,10 +125,14 @@ EvaluatedPtr InstanceVerifier::Verify(const Instantiation& inst,
         QueryInstance::Materialize(*config_->tmpl, *config_->domains, inst);
     if (!hit) hit = LookupCached(q, &matches, &key);
     if (!hit || out_candidates != nullptr) {
-      CandidateSpace candidates = CandidateSpace::Build(
-          *config_->graph, q,
-          /*degree_filter=*/config_->semantics == MatchSemantics::kIsomorphism,
-          config_->use_candidate_index, &matcher_.mutable_stats());
+      CandidateSpace candidates = [&] {
+        FAIRSQG_TRACE_SPAN_FULL("candidate_build");
+        return CandidateSpace::Build(
+            *config_->graph, q,
+            /*degree_filter=*/config_->semantics ==
+                MatchSemantics::kIsomorphism,
+            config_->use_candidate_index, &matcher_.mutable_stats());
+      }();
       if (!hit) {
         bool swept = false;
         if (SweepAllowed() && config_->tmpl->num_range_vars() > 0 &&
@@ -157,6 +173,7 @@ EvaluatedPtr InstanceVerifier::VerifyRefined(const Instantiation& inst,
                                              uint32_t changed_var,
                                              CandidateSpace* out_candidates) {
   if (!config_->use_incremental_verify) return Verify(inst, out_candidates);
+  FAIRSQG_TRACE_SPAN_FULL("verify_refined");
   Timer timer;
   NodeSet matches;
   std::string key;
@@ -166,9 +183,12 @@ EvaluatedPtr InstanceVerifier::VerifyRefined(const Instantiation& inst,
         QueryInstance::Materialize(*config_->tmpl, *config_->domains, inst);
     if (!hit) hit = LookupCached(q, &matches, &key);
     if (!hit || out_candidates != nullptr) {
-      CandidateSpace candidates = CandidateSpace::DeriveRefined(
-          *config_->graph, q, parent_candidates, changed_var,
-          config_->use_candidate_index, &matcher_.mutable_stats());
+      CandidateSpace candidates = [&] {
+        FAIRSQG_TRACE_SPAN_FULL("candidate_build");
+        return CandidateSpace::DeriveRefined(
+            *config_->graph, q, parent_candidates, changed_var,
+            config_->use_candidate_index, &matcher_.mutable_stats());
+      }();
       if (!hit) {
         bool swept = false;
         if (SweepAllowed() &&
@@ -219,6 +239,7 @@ EvaluatedPtr InstanceVerifier::VerifyRelaxed(const Instantiation& inst,
                                              const EvaluatedInstance& parent,
                                              CandidateSpace* out_candidates) {
   if (!config_->use_incremental_verify) return Verify(inst, out_candidates);
+  FAIRSQG_TRACE_SPAN_FULL("verify_relaxed");
   Timer timer;
   NodeSet matches;
   std::string key;
@@ -228,10 +249,13 @@ EvaluatedPtr InstanceVerifier::VerifyRelaxed(const Instantiation& inst,
         QueryInstance::Materialize(*config_->tmpl, *config_->domains, inst);
     if (!hit) hit = LookupCached(q, &matches, &key);
     if (!hit || out_candidates != nullptr) {
-      CandidateSpace candidates =
-          CandidateSpace::Build(*config_->graph, q, /*degree_filter=*/false,
-                                config_->use_candidate_index,
-                                &matcher_.mutable_stats());
+      CandidateSpace candidates = [&] {
+        FAIRSQG_TRACE_SPAN_FULL("candidate_build");
+        return CandidateSpace::Build(*config_->graph, q,
+                                     /*degree_filter=*/false,
+                                     config_->use_candidate_index,
+                                     &matcher_.mutable_stats());
+      }();
       if (!hit) {
         // Lemma 2 in reverse: every parent match remains a match after
         // relaxation; only output candidates outside it need testing.

@@ -5,6 +5,7 @@
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace fairsqg {
 
@@ -214,6 +215,8 @@ MatchResult SubgraphMatcher::MatchNodeBounded(const QueryInstance& q,
                                               const CandidateSpace& candidates,
                                               QNodeId anchor, RunContext* ctx,
                                               const NodeSet* output_restrict) {
+  FAIRSQG_TRACE_SPAN_FULL("match");
+  FAIRSQG_COUNT("fairsqg.match.instances");
   ++stats_.instances_matched;
   MatchResult result;
   if (!q.is_active(anchor)) return result;  // Unconstrained by the instance.
@@ -224,6 +227,7 @@ MatchResult SubgraphMatcher::MatchNodeBounded(const QueryInstance& q,
   budget.limit = ctx != nullptr ? ctx->match_step_limit() : 0;
   if (ctx != nullptr && ctx->HardExpired()) {
     ++stats_.aborted_matches;
+    FAIRSQG_COUNT("fairsqg.match.aborted");
     result.outcome = MatchOutcome::kAborted;
     return result;
   }
@@ -256,6 +260,7 @@ MatchResult SubgraphMatcher::MatchNodeBounded(const QueryInstance& q,
   }
   if (budget.aborted) {
     ++stats_.aborted_matches;
+    FAIRSQG_COUNT("fairsqg.match.aborted");
     result.outcome = MatchOutcome::kAborted;
   }
   // `outer` iterations are ascending, so the result is sorted.
@@ -267,6 +272,8 @@ SweepMatchResult SubgraphMatcher::MatchOutputWithWitness(
     const SweepSpec& spec, RunContext* ctx, const NodeSet* output_restrict) {
   // One chain, one instance count: every member set derives from this
   // invocation (plus ResolveSweepThresholds, which counts none).
+  FAIRSQG_TRACE_SPAN_FULL("match_sweep");
+  FAIRSQG_COUNT("fairsqg.match.instances");
   ++stats_.instances_matched;
   SweepMatchResult result;
   const QNodeId anchor = q.output_node();
@@ -277,6 +284,7 @@ SweepMatchResult SubgraphMatcher::MatchOutputWithWitness(
   budget.ctx = ctx;  // Sweeps run without a per-match step budget.
   if (ctx != nullptr && ctx->HardExpired()) {
     ++stats_.aborted_matches;
+    FAIRSQG_COUNT("fairsqg.match.aborted");
     result.outcome = MatchOutcome::kAborted;
     return result;
   }
@@ -326,6 +334,7 @@ SweepMatchResult SubgraphMatcher::MatchOutputWithWitness(
   }
   if (budget.aborted) {
     ++stats_.aborted_matches;
+    FAIRSQG_COUNT("fairsqg.match.aborted");
     result.outcome = MatchOutcome::kAborted;
     result.matches.clear();
     result.thresholds.clear();
@@ -373,6 +382,7 @@ MatchOutcome SubgraphMatcher::ResolveSweepThresholds(
     }
     if (budget.aborted) {
       ++stats_.aborted_matches;
+      FAIRSQG_COUNT("fairsqg.match.aborted");
       return MatchOutcome::kAborted;
     }
     (*thresholds)[i] = bound;

@@ -1,0 +1,102 @@
+#ifndef FAIRSQG_OBS_JSON_H_
+#define FAIRSQG_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fairsqg::obs {
+
+/// \brief Minimal JSON value used by the observability exporters (RunReport,
+/// chrome-trace dump, bench harness) and by the tests that validate their
+/// output. Self-contained on purpose: the repo takes no third-party JSON
+/// dependency, and the golden run-report test needs a real parser rather
+/// than string matching.
+///
+/// Objects preserve key order via a sorted map (std::map), which makes every
+/// dump deterministic for a given value — a property the golden-file test
+/// and the bench baselines rely on. Numbers are stored as double; exact for
+/// all counters below 2^53, which comfortably covers every counter the
+/// system emits.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Json() : type_(Type::kNull) {}
+  explicit Json(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit Json(double d) : type_(Type::kNumber), number_(d) {}
+  explicit Json(int64_t i)
+      : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  explicit Json(uint64_t u)
+      : type_(Type::kNumber), number_(static_cast<double>(u)) {}
+  explicit Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  explicit Json(const char* s) : type_(Type::kString), string_(s) {}
+
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  bool as_bool() const { return bool_; }
+  double as_double() const { return number_; }
+  int64_t as_int() const { return static_cast<int64_t>(number_); }
+  const std::string& as_string() const { return string_; }
+
+  /// Object access. Set overwrites; Find returns nullptr when absent (or
+  /// when this value is not an object).
+  void Set(const std::string& key, Json value) {
+    object_[key] = std::move(value);
+  }
+  const Json* Find(const std::string& key) const {
+    if (type_ != Type::kObject) return nullptr;
+    auto it = object_.find(key);
+    return it == object_.end() ? nullptr : &it->second;
+  }
+  const std::map<std::string, Json>& items() const { return object_; }
+
+  /// Array access.
+  void Push(Json value) { array_.push_back(std::move(value)); }
+  size_t size() const {
+    return type_ == Type::kArray ? array_.size() : object_.size();
+  }
+  const Json& at(size_t i) const { return array_[i]; }
+  const std::vector<Json>& elements() const { return array_; }
+
+  /// Serializes with `indent` spaces per level (0 = compact single line).
+  std::string Dump(int indent = 2) const;
+
+  /// Parses `text` into `*out`. On failure returns false and describes the
+  /// first error (with byte offset) in `*error` when non-null.
+  static bool Parse(std::string_view text, Json* out, std::string* error);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::map<std::string, Json> object_;
+  std::vector<Json> array_;
+};
+
+}  // namespace fairsqg::obs
+
+#endif  // FAIRSQG_OBS_JSON_H_

@@ -1,0 +1,120 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+
+namespace fairsqg::obs {
+
+namespace {
+
+size_t BucketIndex(double v) {
+  if (!(v > 1.0)) return 0;  // Also catches NaN.
+  uint64_t u = v >= 9.2e18 ? ~uint64_t{0} : static_cast<uint64_t>(v);
+  size_t idx = static_cast<size_t>(std::bit_width(u)) - 1;
+  return idx < kHistogramBuckets ? idx : kHistogramBuckets - 1;
+}
+
+void AtomicUpdateMin(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicUpdateMax(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void MetricsRegistry::Histogram::Observe(double v) {
+  // First observation seeds min/max; the count_ increment is last so a
+  // concurrent Snapshot with count > 0 always sees a seeded min/max.
+  uint64_t prior = count_.load(std::memory_order_relaxed);
+  if (prior == 0) {
+    double zero = 0;
+    min_.compare_exchange_strong(zero, v, std::memory_order_relaxed);
+    zero = 0;
+    max_.compare_exchange_strong(zero, v, std::memory_order_relaxed);
+  }
+  AtomicUpdateMin(&min_, v);
+  AtomicUpdateMax(&max_, v);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_release);
+}
+
+HistogramSnapshot MetricsRegistry::Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_acquire);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void MetricsRegistry::Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // Never freed.
+  return *registry;
+}
+
+size_t MetricsRegistry::ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+MetricsRegistry::Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return &counters_[name];
+}
+
+MetricsRegistry::Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return &gauges_[name];
+}
+
+MetricsRegistry::Histogram* MetricsRegistry::GetHistogram(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return &histograms_[name];
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter.Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge.Value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms[name] = hist.Snapshot();
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter.Reset();
+  for (auto& [name, gauge] : gauges_) gauge.Reset();
+  for (auto& [name, hist] : histograms_) hist.Reset();
+}
+
+}  // namespace fairsqg::obs

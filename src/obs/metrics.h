@@ -1,0 +1,139 @@
+#ifndef FAIRSQG_OBS_METRICS_H_
+#define FAIRSQG_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace fairsqg::obs {
+
+/// Number of exponential (power-of-two) buckets per histogram. Bucket i
+/// counts observations v with bit_width(floor(v)) == i, i.e. boundaries
+/// 1, 2, 4, ... — wide enough for nanosecond durations up to ~2 years.
+inline constexpr size_t kHistogramBuckets = 48;
+
+/// Point-in-time copy of one histogram, produced by Snapshot().
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0;
+  double min = 0;  ///< Meaningless when count == 0.
+  double max = 0;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+};
+
+/// Point-in-time copy of every registered instrument. Maps are sorted by
+/// name, so iterating a snapshot (and dumping it to JSON) is deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// \brief Process-wide registry of named counters, gauges and histograms.
+///
+/// Designed for hot-path increments from the parallel generators: a counter
+/// is an array of cache-line-padded atomic cells and each thread picks a
+/// fixed shard, so concurrent `Add` calls from different workers touch
+/// different cache lines and never take a lock. Shards are summed only when
+/// a snapshot is taken. Instrument lookup by name takes a mutex, but the
+/// FAIRSQG_COUNT macros resolve each call site's instrument once into a
+/// function-local static, so the map is consulted once per site, not per
+/// increment.
+///
+/// The registry is *write-only* from the algorithms' point of view: nothing
+/// in src/core or src/matching ever reads a metric, which is what keeps the
+/// instrumentation behaviorally inert (DESIGN.md §13). Tests and exporters
+/// read via Snapshot().
+class MetricsRegistry {
+ public:
+  static constexpr size_t kShards = 16;
+
+  class Counter {
+   public:
+    void Add(uint64_t n = 1) {
+      cells_[ThisThreadShard()].value.fetch_add(n, std::memory_order_relaxed);
+    }
+    uint64_t Value() const {
+      uint64_t total = 0;
+      for (const Cell& c : cells_) {
+        total += c.value.load(std::memory_order_relaxed);
+      }
+      return total;
+    }
+    void Reset() {
+      for (Cell& c : cells_) c.value.store(0, std::memory_order_relaxed);
+    }
+
+   private:
+    struct alignas(64) Cell {
+      std::atomic<uint64_t> value{0};
+    };
+    std::array<Cell, kShards> cells_{};
+  };
+
+  class Gauge {
+   public:
+    void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+    double Value() const { return value_.load(std::memory_order_relaxed); }
+    void Reset() { Set(0); }
+
+   private:
+    std::atomic<double> value_{0};
+  };
+
+  /// Lock-free exponential histogram: per-bucket atomic counts plus
+  /// atomically-maintained count/sum/min/max. Suitable for low-rate
+  /// observations (per-phase durations), not per-instruction hot loops.
+  class Histogram {
+   public:
+    void Observe(double v);
+    HistogramSnapshot Snapshot() const;
+    void Reset();
+
+   private:
+    std::atomic<uint64_t> count_{0};
+    std::atomic<double> sum_{0};
+    std::atomic<double> min_{0};
+    std::atomic<double> max_{0};
+    std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets_{};
+  };
+
+  static MetricsRegistry& Global();
+
+  /// Instrument lookup, creating on first use. Returned pointers are stable
+  /// for the registry's lifetime (the process) and safe to cache in statics.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Runtime gate consulted by the FAIRSQG_COUNT / FAIRSQG_OBSERVE macros;
+  /// a single relaxed atomic load on the hot path. Off by default: a
+  /// process that never opts in pays one predictable branch per site.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Merges every instrument's shards into a point-in-time copy.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered instrument (names stay registered). Tests use
+  /// this to isolate one run's deltas.
+  void Reset();
+
+ private:
+  /// Stable shard index for the calling thread in [0, kShards).
+  static size_t ThisThreadShard();
+
+  mutable std::mutex mutex_;
+  // std::map never invalidates element addresses, so &it->second is stable.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::atomic<bool> enabled_{false};
+};
+
+}  // namespace fairsqg::obs
+
+#endif  // FAIRSQG_OBS_METRICS_H_

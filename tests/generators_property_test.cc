@@ -4,10 +4,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <map>
+#include <random>
+#include <string>
 
 #include <gtest/gtest.h>
 
+#include "core/bi_qgen.h"
+#include "core/rf_qgen.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "scenario_fixture.h"
 #include "workload/citation_generator.h"
 #include "workload/movie_kg_generator.h"
 #include "workload/social_net_generator.h"
@@ -182,6 +190,56 @@ TEST(CitationPropertyTest, NumberOfCitationsMatchesInDegree) {
     // The attribute is derived from pre-dedup edge counts, so it can only
     // exceed the deduplicated in-degree.
     EXPECT_GE(static_cast<size_t>(g.GetAttr(v, attr)->as_int()), in_cites);
+  }
+}
+
+// Property form of the observability differential (DESIGN.md §13): across
+// randomized scenario seeds and epsilons, enabling full tracing + metrics
+// never changes a query generator's archive. Complements the fixed-config
+// sweep in observability_test.cc with scenario diversity.
+TEST(QGenPropertyTest, ArchivesInvariantUnderObservability) {
+  std::mt19937 rng(7);
+  for (int round = 0; round < 3; ++round) {
+    uint64_t seed = rng();
+    double epsilon = 0.02 + 0.02 * static_cast<double>(round);
+    SmallScenario s(seed);
+    struct {
+      const char* name;
+      std::function<Result<QGenResult>(const QGenConfig&)> run;
+    } runners[] = {
+        {"RfQGen", [](const QGenConfig& c) { return RfQGen::Run(c); }},
+        {"BiQGen/parallel",
+         [](const QGenConfig& c) { return BiQGen::RunParallel(c, 4); }},
+    };
+    for (const auto& runner : runners) {
+      std::string label = std::string(runner.name) + " seed=" +
+                          std::to_string(seed) +
+                          " eps=" + std::to_string(epsilon);
+      obs::Tracer::Global().Disable();
+      obs::MetricsRegistry::Global().set_enabled(false);
+      QGenResult plain = runner.run(s.Config(epsilon)).ValueOrDie();
+
+      obs::Tracer::Global().Enable(obs::TraceDetail::kFull);
+      obs::MetricsRegistry::Global().Reset();
+      obs::MetricsRegistry::Global().set_enabled(true);
+      QGenResult observed = runner.run(s.Config(epsilon)).ValueOrDie();
+      obs::Tracer::Global().Disable();
+      obs::MetricsRegistry::Global().set_enabled(false);
+
+      ASSERT_EQ(plain.pareto.size(), observed.pareto.size()) << label;
+      for (size_t i = 0; i < plain.pareto.size(); ++i) {
+        EXPECT_EQ(plain.pareto[i]->inst, observed.pareto[i]->inst) << label;
+        EXPECT_EQ(plain.pareto[i]->matches, observed.pareto[i]->matches)
+            << label;
+        EXPECT_DOUBLE_EQ(plain.pareto[i]->obj.diversity,
+                         observed.pareto[i]->obj.diversity)
+            << label;
+        EXPECT_DOUBLE_EQ(plain.pareto[i]->obj.coverage,
+                         observed.pareto[i]->obj.coverage)
+            << label;
+      }
+      EXPECT_EQ(plain.stats.verified, observed.stats.verified) << label;
+    }
   }
 }
 

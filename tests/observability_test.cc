@@ -1,0 +1,310 @@
+// Observability inertness and metrics-invariant coverage (DESIGN.md §13).
+//
+// The contract under test: the metrics registry and tracer are *write-only*
+// side channels. Enabling them — at any detail level, for any generator,
+// serial or parallel, with or without the match-set cache or sweep
+// verification — must not change a single archive byte. The differential
+// tests below rerun every generator with observability off and on and
+// require exact equality of the result (members, match sets, objective
+// coordinates, stats counters).
+//
+// The invariant tests pin the registry's counters to the GenStats the
+// algorithms maintain independently, under randomized cancellation: the
+// two bookkeeping paths never share code, so agreement is strong evidence
+// both are right.
+
+#include <functional>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/run_context.h"
+#include "core/bi_qgen.h"
+#include "core/cbm.h"
+#include "core/enum_qgen.h"
+#include "core/kungs.h"
+#include "core/match_cache.h"
+#include "core/parallel_qgen.h"
+#include "core/rf_qgen.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "scenario_fixture.h"
+
+namespace fairsqg {
+namespace {
+
+struct NamedRunner {
+  const char* name;
+  std::function<Result<QGenResult>(const QGenConfig&)> run;
+};
+
+std::vector<NamedRunner> AllRunners() {
+  return {
+      {"EnumQGen", [](const QGenConfig& c) { return EnumQGen::Run(c); }},
+      {"RfQGen", [](const QGenConfig& c) { return RfQGen::Run(c); }},
+      {"BiQGen", [](const QGenConfig& c) { return BiQGen::Run(c); }},
+      {"BiQGen/parallel",
+       [](const QGenConfig& c) { return BiQGen::RunParallel(c, 4); }},
+      {"ParallelQGen",
+       [](const QGenConfig& c) { return ParallelQGen::Run(c, 4); }},
+      {"Kungs", [](const QGenConfig& c) { return Kungs::Run(c); }},
+      {"Cbm", [](const QGenConfig& c) { return Cbm::Run(c, 6); }},
+  };
+}
+
+/// Restores the process-global observability state on scope exit so a
+/// failing assertion cannot leak an enabled tracer into later tests.
+struct ObsGuard {
+  ~ObsGuard() {
+    obs::Tracer::Global().Disable();
+    obs::MetricsRegistry::Global().set_enabled(false);
+    obs::MetricsRegistry::Global().Reset();
+  }
+};
+
+/// Exact archive equality: same members in the same (sorted) order, with
+/// identical match sets, objective coordinates, and group coverage.
+void ExpectSameArchive(const QGenResult& expected, const QGenResult& got,
+                       const std::string& label) {
+  ASSERT_EQ(expected.pareto.size(), got.pareto.size()) << label;
+  for (size_t i = 0; i < expected.pareto.size(); ++i) {
+    const EvaluatedPtr& a = expected.pareto[i];
+    const EvaluatedPtr& b = got.pareto[i];
+    EXPECT_EQ(a->inst, b->inst) << label << " member " << i;
+    EXPECT_EQ(a->matches, b->matches) << label << " member " << i;
+    EXPECT_EQ(a->group_coverage, b->group_coverage) << label << " member " << i;
+    EXPECT_DOUBLE_EQ(a->obj.diversity, b->obj.diversity) << label;
+    EXPECT_DOUBLE_EQ(a->obj.coverage, b->obj.coverage) << label;
+    EXPECT_EQ(a->feasible, b->feasible) << label;
+  }
+  EXPECT_EQ(expected.stats.verified, got.stats.verified) << label;
+  EXPECT_EQ(expected.stats.generated, got.stats.generated) << label;
+  EXPECT_EQ(expected.stats.feasible, got.stats.feasible) << label;
+}
+
+uint64_t CounterOf(const obs::MetricsSnapshot& snap, const std::string& name) {
+  auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+// --- Differential: tracing/metrics on must not change any archive byte ---
+
+TEST(ObservabilityTest, ArchivesIdenticalAcrossDetailLevels) {
+  SmallScenario s;
+  ObsGuard guard;
+  for (const NamedRunner& runner : AllRunners()) {
+    obs::Tracer::Global().Disable();
+    obs::MetricsRegistry::Global().set_enabled(false);
+    QGenResult baseline = runner.run(s.Config(0.05)).ValueOrDie();
+
+    for (obs::TraceDetail detail :
+         {obs::TraceDetail::kPhase, obs::TraceDetail::kFull}) {
+      obs::Tracer::Global().Enable(detail);
+      obs::MetricsRegistry::Global().Reset();
+      obs::MetricsRegistry::Global().set_enabled(true);
+      QGenResult traced = runner.run(s.Config(0.05)).ValueOrDie();
+      ExpectSameArchive(baseline, traced,
+                        std::string(runner.name) + " detail=" +
+                            obs::TraceDetailName(detail));
+      obs::Tracer::Global().Disable();
+      obs::MetricsRegistry::Global().set_enabled(false);
+    }
+  }
+}
+
+TEST(ObservabilityTest, ArchivesIdenticalWithCacheAndSweep) {
+  SmallScenario s;
+  ObsGuard guard;
+  struct Variant {
+    const char* name;
+    bool sweep;
+    bool cache;
+  };
+  for (const Variant& v : {Variant{"sweep", true, false},
+                           Variant{"cache", false, true},
+                           Variant{"sweep+cache", true, true}}) {
+    for (const NamedRunner& runner : AllRunners()) {
+      auto configure = [&](MatchSetCache* cache) {
+        QGenConfig c = s.Config(0.05);
+        c.use_sweep_verify = v.sweep;
+        if (v.cache) c.match_cache = cache;
+        return c;
+      };
+      obs::Tracer::Global().Disable();
+      obs::MetricsRegistry::Global().set_enabled(false);
+      MatchSetCache cold_cache;
+      QGenResult baseline = runner.run(configure(&cold_cache)).ValueOrDie();
+
+      obs::Tracer::Global().Enable(obs::TraceDetail::kFull);
+      obs::MetricsRegistry::Global().Reset();
+      obs::MetricsRegistry::Global().set_enabled(true);
+      MatchSetCache traced_cache;
+      QGenResult traced = runner.run(configure(&traced_cache)).ValueOrDie();
+      ExpectSameArchive(baseline, traced,
+                        std::string(runner.name) + " " + v.name);
+      obs::Tracer::Global().Disable();
+      obs::MetricsRegistry::Global().set_enabled(false);
+    }
+  }
+}
+
+// --- Metrics invariants under randomized cancellation ---
+
+TEST(ObservabilityTest, VerifyCountersMatchGenStatsUnderCancellation) {
+  SmallScenario s;
+  ObsGuard guard;
+  // Fixed seed: arbitrary but reproducible cancellation points.
+  std::mt19937 rng(20260807);
+  std::uniform_int_distribution<uint64_t> pick(1, 60);
+  for (const NamedRunner& runner : AllRunners()) {
+    for (int round = 0; round < 2; ++round) {
+      uint64_t n = pick(rng);
+      std::string label =
+          std::string(runner.name) + " cancel@" + std::to_string(n);
+      RunContext ctx;
+      ctx.CancelAfterVerifications(n);
+      ctx.set_on_expiry(ExpiryPolicy::kPartial);
+      MatchSetCache cache;
+      QGenConfig config = s.Config(0.05);
+      config.run_context = &ctx;
+      config.match_cache = &cache;
+
+      obs::MetricsRegistry::Global().Reset();
+      obs::MetricsRegistry::Global().set_enabled(true);
+      QGenResult result = runner.run(config).ValueOrDie();
+      obs::MetricsRegistry::Global().set_enabled(false);
+      obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+
+      // The registry's completion counter and GenStats.verified are
+      // maintained by disjoint code paths (verifier-side FAIRSQG_COUNT vs
+      // per-generator ++stats.verified); they must agree exactly, which
+      // also proves no aborted instance was ever counted as verified.
+      EXPECT_EQ(CounterOf(snap, "fairsqg.verify.completed"),
+                result.stats.verified)
+          << label;
+      // Every cache consultation resolves to a hit or a miss — no third
+      // outcome, no double counting.
+      EXPECT_EQ(CounterOf(snap, "fairsqg.verify.cache_lookups"),
+                CounterOf(snap, "fairsqg.verify.cache_hits") +
+                    CounterOf(snap, "fairsqg.verify.cache_misses"))
+          << label;
+      // Lookups can only come from completed or aborted verifications, so
+      // the cache traffic is bounded by the instances the verifier saw.
+      EXPECT_LE(CounterOf(snap, "fairsqg.verify.cache_lookups"),
+                CounterOf(snap, "fairsqg.verify.completed") +
+                    CounterOf(snap, "fairsqg.verify.aborted_instances") +
+                    CounterOf(snap, "fairsqg.verify.sweep_served"))
+          << label;
+    }
+  }
+}
+
+TEST(ObservabilityTest, SweepCountersMatchGenStats) {
+  SmallScenario s;
+  ObsGuard guard;
+  for (const NamedRunner& runner : AllRunners()) {
+    QGenConfig config = s.Config(0.05);
+    config.use_sweep_verify = true;
+
+    obs::MetricsRegistry::Global().Reset();
+    obs::MetricsRegistry::Global().set_enabled(true);
+    QGenResult result = runner.run(config).ValueOrDie();
+    obs::MetricsRegistry::Global().set_enabled(false);
+    obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+
+    // A chain sweeps at least one member beyond its head, so the instance
+    // counter dominates the chain counter whenever any chain completed.
+    uint64_t chains = CounterOf(snap, "fairsqg.sweep.chains");
+    uint64_t instances = CounterOf(snap, "fairsqg.sweep.instances");
+    EXPECT_GE(instances, chains) << runner.name;
+    // Registry counters and the GenStats sweep counters are written at the
+    // same sites; they must agree exactly.
+    EXPECT_EQ(chains, result.stats.sweep_chains) << runner.name;
+    EXPECT_EQ(instances, result.stats.sweep_instances) << runner.name;
+    EXPECT_EQ(CounterOf(snap, "fairsqg.sweep.fallbacks"),
+              result.stats.sweep_fallbacks)
+        << runner.name;
+  }
+}
+
+// --- Trace well-formedness (also the TSan clock-regression test) ---
+
+TEST(ObservabilityTest, SpanDurationsNonNegativeAndTreeWellFormed) {
+  SmallScenario s;
+  ObsGuard guard;
+  // Parallel runs exercise cross-thread span recording; full detail
+  // exercises the per-instance verifier/matcher spans. All timestamps come
+  // from the one monotonic clock (common/timer.h MonotonicNanos), so no
+  // span may ever close before it opened — the regression this test pins
+  // after the steady_clock unification.
+  for (const NamedRunner& runner : AllRunners()) {
+    obs::Tracer::Global().Enable(obs::TraceDetail::kFull);
+    QGenConfig config = s.Config(0.05);
+    config.use_sweep_verify = true;
+    (void)runner.run(config).ValueOrDie();
+    std::vector<obs::SpanRecord> spans = obs::Tracer::Global().Snapshot();
+    uint64_t dropped = obs::Tracer::Global().dropped();
+    obs::Tracer::Global().Disable();
+
+    ASSERT_FALSE(spans.empty()) << runner.name;
+    std::set<uint64_t> ids;
+    for (const obs::SpanRecord& rec : spans) {
+      EXPECT_GE(rec.dur_ns, 0) << runner.name << " span " << rec.name;
+      if (rec.instant) EXPECT_EQ(rec.dur_ns, 0) << runner.name;
+      EXPECT_NE(rec.id, 0u) << runner.name;
+      EXPECT_TRUE(ids.insert(rec.id).second)
+          << runner.name << ": duplicate span id " << rec.id;
+    }
+    if (dropped == 0) {
+      // With the full buffer retained, every parent reference must resolve
+      // to a recorded span or the root sentinel. (Parents that were still
+      // open when the snapshot was cut cannot occur: generators join their
+      // workers before returning, closing every span.)
+      for (const obs::SpanRecord& rec : spans) {
+        EXPECT_TRUE(rec.parent == 0 || ids.count(rec.parent) == 1)
+            << runner.name << ": span " << rec.name << " has dangling parent "
+            << rec.parent;
+      }
+    }
+  }
+}
+
+TEST(ObservabilityTest, DisabledTracerRecordsNothing) {
+  SmallScenario s;
+  ObsGuard guard;
+  obs::Tracer::Global().Enable(obs::TraceDetail::kPhase);
+  obs::Tracer::Global().Disable();
+  uint64_t before = obs::Tracer::Global().total_recorded();
+  (void)BiQGen::Run(s.Config(0.05)).ValueOrDie();
+  EXPECT_EQ(obs::Tracer::Global().total_recorded(), before);
+  // Same for the registry: counters stay zero while disabled.
+  obs::MetricsRegistry::Global().Reset();
+  (void)BiQGen::Run(s.Config(0.05)).ValueOrDie();
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    EXPECT_EQ(value, 0u) << name;
+  }
+}
+
+TEST(ObservabilityTest, PhaseDetailOmitsPerInstanceSpans) {
+  SmallScenario s;
+  ObsGuard guard;
+  obs::Tracer::Global().Enable(obs::TraceDetail::kPhase);
+  (void)EnumQGen::Run(s.Config(0.05)).ValueOrDie();
+  std::vector<obs::SpanRecord> spans = obs::Tracer::Global().Snapshot();
+  obs::Tracer::Global().Disable();
+  ASSERT_FALSE(spans.empty());
+  for (const obs::SpanRecord& rec : spans) {
+    // "verify" / "match" / "evaluate" spans are kFull-only; at kPhase the
+    // buffer holds only coarse phases, keeping overhead near zero.
+    EXPECT_STRNE(rec.name, "verify") << "per-instance span at phase detail";
+    EXPECT_STRNE(rec.name, "match") << "per-instance span at phase detail";
+    EXPECT_STRNE(rec.name, "evaluate") << "per-instance span at phase detail";
+  }
+}
+
+}  // namespace
+}  // namespace fairsqg

@@ -10,11 +10,19 @@ value by more than --max-ratio, or when the two files have incompatible
 schema_version stamps. Timings below --min-seconds in the baseline are
 skipped: at that magnitude runner noise dwarfs any real regression.
 
+Both files must be RunReport-shaped snapshots ("kind":
+"fairsqg.run_report", bench schema v3+): the discriminator is checked
+before any comparison so a stray non-bench JSON fails loudly.
+
 Only *_s / *_seconds / *_ms fields are compared — counters, speedup ratios,
 and structural fields are ignored, so a faster machine never fails and a
 changed scenario fails loudly via schema_version rather than spuriously via
-timings.
+timings. Fields under an embedded "stats" object are also skipped: those
+are the single-run GenStats snapshot a row carries for observability, not
+the median timings the regression gate is meant to police.
 """
+
+RUN_REPORT_KIND = "fairsqg.run_report"
 
 import argparse
 import json
@@ -39,6 +47,8 @@ def walk(node, path=""):
 
 
 def is_timing(path):
+    if ".stats." in path:  # Embedded single-run GenStats snapshot.
+        return False
     leaf = path.rsplit(".", 1)[-1]
     return leaf.endswith(("_s", "_seconds", "_ms")) or leaf in ("seconds", "ms")
 
@@ -61,6 +71,13 @@ def main():
         baseline = json.load(f)
     with open(args.current) as f:
         current = json.load(f)
+
+    for label, doc in (("baseline", baseline), ("current", current)):
+        kind = doc.get("kind")
+        if kind != RUN_REPORT_KIND:
+            print(f"FAIL: {label} is not a {RUN_REPORT_KIND} snapshot "
+                  f"(kind={kind!r}); regenerate it with a schema-v3+ bench")
+            return 1
 
     base_schema = baseline.get("schema_version")
     cur_schema = current.get("schema_version")

@@ -14,8 +14,12 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/flags.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 #include "core/bi_qgen.h"
 #include "core/enum_qgen.h"
 #include "core/kungs.h"
@@ -152,7 +156,35 @@ int CmdGenerate(int argc, char** argv) {
   flags.DefineString("on-deadline", "partial",
                      "deadline behaviour: partial (best-so-far archive) | "
                      "fail (non-zero exit)");
+  flags.DefineString("metrics-json", "",
+                     "write a fairsqg.run_report JSON (stats + metric "
+                     "counters + trace spans) to this path");
+  flags.DefineString("trace-out", "",
+                     "write a chrome://tracing span dump to this path");
+  flags.DefineString("trace-detail", "off",
+                     "span granularity: off | phase | full");
   if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
+
+  obs::TraceDetail trace_detail = obs::TraceDetail::kOff;
+  if (!obs::ParseTraceDetail(flags.GetString("trace-detail"), &trace_detail)) {
+    return Fail(Status::InvalidArgument("unknown --trace-detail '" +
+                                        flags.GetString("trace-detail") +
+                                        "' (off | phase | full)"));
+  }
+  const std::string& metrics_json_path = flags.GetString("metrics-json");
+  const std::string& trace_out_path = flags.GetString("trace-out");
+  // --trace-out without an explicit detail level implies phase spans;
+  // otherwise the dump would be empty.
+  if (!trace_out_path.empty() && trace_detail == obs::TraceDetail::kOff) {
+    trace_detail = obs::TraceDetail::kPhase;
+  }
+  if (trace_detail != obs::TraceDetail::kOff) {
+    obs::Tracer::Global().Enable(trace_detail);
+  }
+  if (!metrics_json_path.empty()) {
+    obs::MetricsRegistry::Global().Reset();
+    obs::MetricsRegistry::Global().set_enabled(true);
+  }
 
   Result<Graph> g = ReadGraphFile(flags.GetString("graph"));
   if (!g.ok()) return Fail(g.status());
@@ -238,6 +270,37 @@ int CmdGenerate(int argc, char** argv) {
     return Fail(Status::InvalidArgument("unknown --algorithm '" + algo + "'"));
   }
   if (!result.ok()) return Fail(result.status());
+
+  if (!metrics_json_path.empty() || !trace_out_path.empty()) {
+    std::vector<obs::SpanRecord> spans;
+    uint64_t dropped = 0;
+    if (trace_detail != obs::TraceDetail::kOff) {
+      spans = obs::Tracer::Global().Snapshot();
+      dropped = obs::Tracer::Global().dropped();
+      obs::Tracer::Global().Disable();
+    }
+    if (!metrics_json_path.empty()) {
+      obs::RunReport report;
+      report.SetAlgorithm(algo);
+      report.SetGenStats(result->stats);
+      report.AttachMetrics(obs::MetricsRegistry::Global().Snapshot());
+      obs::MetricsRegistry::Global().set_enabled(false);
+      if (trace_detail != obs::TraceDetail::kOff) {
+        report.AttachTrace(spans, trace_detail, dropped);
+      }
+      if (Status s = report.WriteFile(metrics_json_path); !s.ok()) {
+        return Fail(s);
+      }
+      std::fprintf(stderr, "wrote run report: %s\n",
+                   metrics_json_path.c_str());
+    }
+    if (!trace_out_path.empty()) {
+      if (Status s = obs::WriteChromeTrace(spans, trace_out_path); !s.ok()) {
+        return Fail(s);
+      }
+      std::fprintf(stderr, "wrote trace: %s\n", trace_out_path.c_str());
+    }
+  }
 
   std::printf("%s: %zu suggested queries (%zu verified, %.2fs)\n", algo.c_str(),
               result->pareto.size(), result->stats.verified,
